@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -id table2 -scale quick
+//	experiments -id all -scale standard -repeats 3
+//
+// IDs: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 fig5 fig6
+// ablation-distance ablation-init ablation-augment ablation-objective
+// ext-sample all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quickdrop/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment id (tableN, figN, ablation-*, ext-sample, all)")
+	scaleName := flag.String("scale", "quick", "scale preset: quick|standard|large")
+	repeats := flag.Int("repeats", 1, "average method tables and ablations over this many seeds (paper: 5)")
+	flag.Parse()
+
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Repeats = *repeats
+	ids := []string{*id}
+	if *id == "all" {
+		ids = experiments.IDs()
+	}
+	for _, one := range ids {
+		start := time.Now()
+		fmt.Printf("=== %s (scale %s) ===\n", one, sc.Name)
+		if err := experiments.Run(one, sc, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", one, err))
+		}
+		fmt.Printf("--- %s done in %s ---\n\n", one, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

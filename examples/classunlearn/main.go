@@ -1,0 +1,77 @@
+// Class-level unlearning under heterogeneous data, verified with a
+// membership-inference attack — the scenario behind the paper's Table 2
+// and Figure 3. Think of hospitals that collaboratively trained a
+// diagnostic model and must now erase one diagnosis category whose use
+// was retracted: the category's samples are spread unevenly across sites
+// (Dirichlet α=0.1), and after unlearning, an auditor checks with an MIA
+// that the erased samples no longer look like training members.
+//
+//	go run ./examples/classunlearn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/mia"
+	"quickdrop/internal/nn"
+)
+
+func main() {
+	const (
+		nClients = 10
+		target   = 9 // the retracted category
+	)
+	spec := data.CIFARLike(8, 20)
+	train, test := data.Generate(spec, 1)
+	clients := data.PartitionDirichlet(train, nClients, 0.1, rand.New(rand.NewSource(2)))
+	fmt.Printf("partition heterogeneity: %.2f (0 = IID)\n", data.HeterogeneityStat(clients))
+
+	arch := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 3, Classes: 10, Width: 8, Depth: 2}
+	cfg := core.DefaultConfig(arch)
+	cfg.Train.Rounds = 18
+	sys, err := core.NewSystem(cfg, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Train(); err != nil {
+		log.Fatal(err)
+	}
+	fBefore, rBefore := eval.ClassSplit(sys.Model, test, target)
+	fmt.Printf("before unlearning: class %d accuracy %.1f%%, other classes %.1f%%\n",
+		target, 100*fBefore, 100*rBefore)
+
+	// Serve the erasure request. Every client holding category 9
+	// participates, using only its synthetic samples.
+	start := time.Now()
+	rep, err := sys.Unlearn(core.Request{Kind: core.ClassLevel, Class: target})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fAfter, rAfter := eval.ClassSplit(sys.Model, test, target)
+	fmt.Printf("after unlearning (%s, %d forget + %d recovery samples): class %d %.1f%%, others %.1f%%\n",
+		time.Since(start).Round(time.Millisecond), rep.Unlearn.DataSize, rep.Recover.DataSize,
+		target, 100*fAfter, 100*rAfter)
+
+	// Audit with a membership-inference attack: erased samples should no
+	// longer be recognizable as training members, while retained training
+	// samples should be.
+	var forgetParts, retainParts []*data.Dataset
+	for _, c := range clients {
+		forgetParts = append(forgetParts, c.OfClass(target))
+		retainParts = append(retainParts, c.WithoutClass(target))
+	}
+	forgotten := data.Merge(forgetParts...)
+	retained := data.Merge(retainParts...)
+	attack, err := mia.TrainThreshold(sys.Model, retained, test.WithoutClass(target))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MIA member rate — erased samples: %.1f%%, retained training samples: %.1f%%\n",
+		100*attack.MemberRate(sys.Model, forgotten), 100*attack.MemberRate(sys.Model, retained))
+}

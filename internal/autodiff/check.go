@@ -1,0 +1,57 @@
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"quickdrop/internal/tensor"
+)
+
+// CheckGradient compares the analytic gradient of f at xs against central
+// finite differences. f must build a fresh graph from its inputs on every
+// call and return a scalar. Returns an error describing the first mismatch.
+func CheckGradient(f func(xs []*Value) *Value, xs []*tensor.Tensor, eps, tol float64) error {
+	vars := make([]*Value, len(xs))
+	for i, x := range xs {
+		vars[i] = Var(x.Clone())
+	}
+	out := f(vars)
+	analytic, err := Grad(out, vars)
+	if err != nil {
+		return err
+	}
+
+	eval := func(pts []*tensor.Tensor) float64 {
+		vs := make([]*Value, len(pts))
+		for i, p := range pts {
+			vs[i] = Const(p)
+		}
+		return f(vs).Item()
+	}
+
+	for i, x := range xs {
+		for j := range x.Data() {
+			pts := clonePoints(xs)
+			pts[i].Data()[j] += eps
+			up := eval(pts)
+			pts = clonePoints(xs)
+			pts[i].Data()[j] -= eps
+			down := eval(pts)
+			numeric := (up - down) / (2 * eps)
+			got := analytic[i].Data.Data()[j]
+			if diff := math.Abs(got - numeric); diff > tol*(1+math.Abs(numeric)) {
+				return fmt.Errorf("autodiff: gradient mismatch at input %d elem %d: analytic %.8g, numeric %.8g (|Δ|=%.3g)",
+					i, j, got, numeric, diff)
+			}
+		}
+	}
+	return nil
+}
+
+func clonePoints(xs []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		out[i] = x.Clone()
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/tensor"
+)
+
+func TestConcatRowsValues(t *testing.T) {
+	a := Const(tensor.FromSlice([]float64{1, 2}, 1, 2))
+	b := Const(tensor.FromSlice([]float64{3, 4, 5, 6}, 2, 2))
+	c := ConcatRows(a, b)
+	want := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	if !c.Data.SameShape(want) {
+		t.Fatalf("shape %v", c.Data.Shape())
+	}
+	for i, v := range want.Data() {
+		if c.Data.Data()[i] != v {
+			t.Fatalf("concat = %v", c.Data.Data())
+		}
+	}
+}
+
+func TestSliceRowsValues(t *testing.T) {
+	a := Const(tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2))
+	s := SliceRows(a, 1, 3)
+	want := []float64{3, 4, 5, 6}
+	for i, v := range want {
+		if s.Data.Data()[i] != v {
+			t.Fatalf("slice = %v", s.Data.Data())
+		}
+	}
+}
+
+func TestConcatSliceGradientsNumeric(t *testing.T) {
+	xa := randT(40, 1, 2, 3)
+	xb := randT(41, 1, 1, 3)
+	err := CheckGradient(func(xs []*Value) *Value {
+		joined := ConcatRows(xs[0], xs[1])
+		top := SliceRows(joined, 0, 2)
+		return SumAll(Mul(top, top))
+	}, []*tensor.Tensor{xa, xb}, fdEps, fdTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceRowsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SliceRows(Const(tensor.New(2, 2)), 1, 1)
+}
+
+func TestSigmoidTanhValuesAndGradients(t *testing.T) {
+	x0 := Const(tensor.FromSlice([]float64{0}, 1))
+	if math.Abs(Sigmoid(x0).Item()-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %g", Sigmoid(x0).Item())
+	}
+	if math.Abs(Tanh(x0).Item()) > 1e-12 {
+		t.Fatalf("tanh(0) = %g", Tanh(x0).Item())
+	}
+	xv := randT(42, 0.8, 5)
+	if err := CheckGradient(func(xs []*Value) *Value {
+		return SumAll(Sigmoid(xs[0]))
+	}, []*tensor.Tensor{xv}, fdEps, fdTol); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGradient(func(xs []*Value) *Value {
+		return SumAll(Tanh(xs[0]))
+	}, []*tensor.Tensor{xv}, fdEps, fdTol); err != nil {
+		t.Fatal(err)
+	}
+	// Values match math.Tanh.
+	got := Tanh(Const(xv)).Data
+	for i, v := range xv.Data() {
+		if math.Abs(got.Data()[i]-math.Tanh(v)) > 1e-12 {
+			t.Fatalf("tanh(%g) = %g", v, got.Data()[i])
+		}
+	}
+}
+
+func TestAbs(t *testing.T) {
+	x := Var(tensor.FromSlice([]float64{-2, 3}, 2))
+	y := SumAll(Abs(x))
+	if y.Item() != 5 {
+		t.Fatalf("sum|x| = %g", y.Item())
+	}
+	g := MustGrad(y, []*Value{x})[0]
+	if g.Data.Data()[0] != -1 || g.Data.Data()[1] != 1 {
+		t.Fatalf("grad = %v", g.Data.Data())
+	}
+}
+
+func TestHVPQuadratic(t *testing.T) {
+	// loss = ½ xᵀAx with A = diag(2, 6) (via elementwise weights) has
+	// Hessian diag(2, 6); H·v is elementwise.
+	x := Var(tensor.FromSlice([]float64{1, 1}, 2))
+	w := Const(tensor.FromSlice([]float64{2, 6}, 2))
+	loss := Scale(SumAll(Mul(w, Mul(x, x))), 0.5)
+	v := tensor.FromSlice([]float64{1, -1}, 2)
+	hv, err := HVP(loss, []*Value{x}, []*tensor.Tensor{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hv[0].Data.Data()[0]-2) > 1e-10 || math.Abs(hv[0].Data.Data()[1]+6) > 1e-10 {
+		t.Fatalf("Hv = %v, want [2 -6]", hv[0].Data.Data())
+	}
+}
+
+func TestHVPMatchesFiniteDifferenceOfGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	xt := tensor.Randn(rng, 0.5, 3)
+	v := tensor.Randn(rng, 1, 3)
+
+	gradAt := func(pt *tensor.Tensor) []float64 {
+		x := Var(pt.Clone())
+		loss := SumAll(Exp(Mul(x, x)))
+		return MustGrad(loss, []*Value{x})[0].Data.Data()
+	}
+	x := Var(xt.Clone())
+	loss := SumAll(Exp(Mul(x, x)))
+	hv, err := HVP(loss, []*Value{x}, []*tensor.Tensor{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-5
+	up := gradAt(xt.Clone().AxpyInPlace(eps, v))
+	down := gradAt(xt.Clone().AxpyInPlace(-eps, v))
+	for i := range up {
+		numeric := (up[i] - down[i]) / (2 * eps)
+		if math.Abs(hv[0].Data.Data()[i]-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("Hv[%d] = %g, numeric %g", i, hv[0].Data.Data()[i], numeric)
+		}
+	}
+}
+
+func TestHVPValidates(t *testing.T) {
+	x := Var(tensor.Ones(2))
+	loss := SumAll(Mul(x, x))
+	if _, err := HVP(loss, []*Value{x}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+// A graph thousands of nodes deep must backpropagate without stack
+// overflow (topological ordering is iterative).
+func TestDeepGraphBackward(t *testing.T) {
+	x := Var(tensor.FromSlice([]float64{1}, 1))
+	y := x
+	const depth = 5000
+	for i := 0; i < depth; i++ {
+		y = AddConst(y, 1e-6)
+	}
+	g := MustGrad(SumAll(y), []*Value{x})[0]
+	if g.Item() != 1 {
+		t.Fatalf("deep chain gradient = %g, want 1", g.Item())
+	}
+}
+
+// Gradient accumulation across a wide fan-out: y = Σᵢ (x + i·ε) should
+// have dy/dx equal to the fan-out width.
+func TestWideFanOutAccumulation(t *testing.T) {
+	x := Var(tensor.FromSlice([]float64{2}, 1))
+	total := Scalar(0)
+	const width = 200
+	for i := 0; i < width; i++ {
+		total = Add(total, AddConst(x, float64(i)))
+	}
+	g := MustGrad(total, []*Value{x})[0]
+	if g.Item() != width {
+		t.Fatalf("fan-out gradient = %g, want %d", g.Item(), width)
+	}
+}

@@ -1,0 +1,183 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"quickdrop/internal/tensor"
+)
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	return newNode("add", a.Data.Add(b.Data), []*Value{a, b}, func(g *Value) []*Value {
+		return []*Value{g, g}
+	})
+}
+
+// Neg returns -a.
+func Neg(a *Value) *Value {
+	return newNode("neg", a.Data.Neg(), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Neg(g)}
+	})
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Value) *Value { return Add(a, Neg(b)) }
+
+// Mul returns the elementwise product (same shape).
+func Mul(a, b *Value) *Value {
+	return newNode("mul", a.Data.Mul(b.Data), []*Value{a, b}, func(g *Value) []*Value {
+		return []*Value{Mul(g, b), Mul(g, a)}
+	})
+}
+
+// Div returns elementwise a / b (same shape).
+func Div(a, b *Value) *Value { return Mul(a, PowConst(b, -1)) }
+
+// Scale returns c * a for a Go-constant c.
+func Scale(a *Value, c float64) *Value {
+	return newNode("scale", a.Data.Scale(c), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Scale(g, c)}
+	})
+}
+
+// AddConst returns a + c elementwise for a Go-constant c.
+func AddConst(a *Value, c float64) *Value {
+	return newNode("addconst", a.Data.Apply(func(v float64) float64 { return v + c }), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{g}
+	})
+}
+
+// PowConst returns aᵖ elementwise for a Go-constant exponent p.
+func PowConst(a *Value, p float64) *Value {
+	return newNode("powconst", a.Data.Pow(p), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Mul(g, Scale(PowConst(a, p-1), p))}
+	})
+}
+
+// Sqrt returns the elementwise square root.
+func Sqrt(a *Value) *Value { return PowConst(a, 0.5) }
+
+// Exp returns elementwise eᵃ.
+func Exp(a *Value) *Value {
+	var out *Value
+	out = newNode("exp", a.Data.Exp(), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Mul(g, out)}
+	})
+	return out
+}
+
+// Log returns the elementwise natural logarithm.
+func Log(a *Value) *Value {
+	return newNode("log", a.Data.Log(), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Mul(g, PowConst(a, -1))}
+	})
+}
+
+// ReLU returns elementwise max(a, 0). The derivative treats the activation
+// mask as a constant (zero almost everywhere in second order), matching
+// standard deep-learning practice.
+func ReLU(a *Value) *Value {
+	mask := Const(a.Data.ReLUMask())
+	return newNode("relu", a.Data.ReLU(), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Mul(g, mask)}
+	})
+}
+
+// Detach returns a's tensor as a constant, cutting the gradient flow.
+func Detach(a *Value) *Value { return Const(a.Data.Clone()) }
+
+// MatMul returns the matrix product a·b for a [M,K] and b [K,N].
+func MatMul(a, b *Value) *Value {
+	return newNode("matmul", a.Data.MatMul(b.Data), []*Value{a, b}, func(g *Value) []*Value {
+		return []*Value{
+			MatMul(g, Transpose(b)),
+			MatMul(Transpose(a), g),
+		}
+	})
+}
+
+// Transpose returns the matrix transpose.
+func Transpose(a *Value) *Value {
+	return newNode("transpose", a.Data.Transpose(), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Transpose(g)}
+	})
+}
+
+// Reshape returns a with a new shape (same element count, row-major order).
+func Reshape(a *Value, shape ...int) *Value {
+	orig := a.Data.Shape()
+	return newNode("reshape", a.Data.Reshape(shape...), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{Reshape(g, orig...)}
+	})
+}
+
+// SumAxes sums over the given (sorted, unique) axes, keeping them as size-1
+// dimensions so the result broadcasts back against the input.
+func SumAxes(a *Value, axes ...int) *Value {
+	orig := a.Data.Shape()
+	return newNode("sumaxes", a.Data.SumAxes(axes...), []*Value{a}, func(g *Value) []*Value {
+		return []*Value{BroadcastTo(g, orig...)}
+	})
+}
+
+// BroadcastTo expands size-1 dimensions of a to the given shape.
+func BroadcastTo(a *Value, shape ...int) *Value {
+	in := a.Data.Shape()
+	var axes []int
+	for i := range in {
+		if in[i] == 1 && shape[i] != 1 {
+			axes = append(axes, i)
+		}
+	}
+	return newNode("broadcast", a.Data.BroadcastTo(shape...), []*Value{a}, func(g *Value) []*Value {
+		if len(axes) == 0 {
+			return []*Value{g}
+		}
+		return []*Value{SumAxes(g, axes...)}
+	})
+}
+
+// SumAll reduces a to a scalar of shape [1].
+func SumAll(a *Value) *Value {
+	axes := make([]int, a.Data.Dims())
+	for i := range axes {
+		axes[i] = i
+	}
+	return Reshape(SumAxes(a, axes...), 1)
+}
+
+// Mean reduces a to its scalar mean, shape [1].
+func Mean(a *Value) *Value {
+	return Scale(SumAll(a), 1/float64(a.Data.Len()))
+}
+
+// Expand broadcasts a scalar node of shape [1] to an arbitrary shape.
+func Expand(scalar *Value, shape ...int) *Value {
+	if scalar.Data.Len() != 1 {
+		panic(fmt.Sprintf("autodiff: Expand requires a scalar, got %v", scalar.Data.Shape()))
+	}
+	ones := make([]int, len(shape))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return BroadcastTo(Reshape(scalar, ones...), shape...)
+}
+
+// Im2col extracts convolution patches (see tensor.Im2col) as a
+// differentiable operation; the VJP is the adjoint scatter Col2im.
+func Im2col(a *Value, g tensor.ConvGeom) *Value {
+	batch := a.Data.Dim(0)
+	return newNode("im2col", tensor.Im2col(a.Data, g), []*Value{a}, func(gr *Value) []*Value {
+		return []*Value{Col2im(gr, batch, g)}
+	})
+}
+
+// Col2im scatter-adds patches back into an NHWC tensor (adjoint of Im2col).
+func Col2im(cols *Value, batch int, g tensor.ConvGeom) *Value {
+	return newNode("col2im", tensor.Col2im(cols.Data, batch, g), []*Value{cols}, func(gr *Value) []*Value {
+		return []*Value{Im2col(gr, g)}
+	})
+}
+
+// Dot returns ⟨a, b⟩ as a scalar node of shape [1].
+func Dot(a, b *Value) *Value { return SumAll(Mul(a, b)) }

@@ -1,0 +1,288 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quickdrop/internal/tensor"
+)
+
+const (
+	fdEps = 1e-5
+	fdTol = 1e-5
+)
+
+func randT(seed int64, stddev float64, shape ...int) *tensor.Tensor {
+	return tensor.Randn(rand.New(rand.NewSource(seed)), stddev, shape...)
+}
+
+func TestScalarChain(t *testing.T) {
+	// y = (2x + 1)², dy/dx = 4(2x+1); at x=3, y=49, dy/dx=28.
+	x := Var(tensor.FromSlice([]float64{3}, 1))
+	y := PowConst(AddConst(Scale(x, 2), 1), 2)
+	if y.Item() != 49 {
+		t.Fatalf("y = %g, want 49", y.Item())
+	}
+	g := MustGrad(y, []*Value{x})[0]
+	if g.Item() != 28 {
+		t.Fatalf("dy/dx = %g, want 28", g.Item())
+	}
+}
+
+func TestGradSharedSubexpression(t *testing.T) {
+	// y = x*x + x ⇒ dy/dx = 2x + 1 (checks gradient accumulation on fan-out).
+	x := Var(tensor.FromSlice([]float64{5}, 1))
+	y := Add(Mul(x, x), x)
+	g := MustGrad(y, []*Value{x})[0]
+	if g.Item() != 11 {
+		t.Fatalf("dy/dx = %g, want 11", g.Item())
+	}
+}
+
+func TestGradUnusedInputIsZero(t *testing.T) {
+	x := Var(tensor.FromSlice([]float64{1, 2}, 2))
+	z := Var(tensor.FromSlice([]float64{4}, 1))
+	y := SumAll(x)
+	gs := MustGrad(y, []*Value{x, z})
+	if gs[1].Data.Sum() != 0 {
+		t.Fatal("unused input must receive zero gradient")
+	}
+	if !gs[1].Data.SameShape(z.Data) {
+		t.Fatal("zero gradient must match input shape")
+	}
+}
+
+func TestGradRejectsNonScalar(t *testing.T) {
+	x := Var(tensor.Ones(2, 2))
+	if _, err := Grad(x, []*Value{x}); err == nil {
+		t.Fatal("expected error for non-scalar output")
+	}
+}
+
+func TestConstantsDoNotTrack(t *testing.T) {
+	a := Const(tensor.Ones(2))
+	b := Const(tensor.Ones(2))
+	c := Mul(a, b)
+	if c.RequiresGrad() {
+		t.Fatal("op on constants must not require grad")
+	}
+}
+
+func TestDetachStopsGradient(t *testing.T) {
+	x := Var(tensor.FromSlice([]float64{2}, 1))
+	y := Mul(Detach(x), x) // d/dx = detach(x) = 2, not 2x=4
+	g := MustGrad(y, []*Value{x})[0]
+	if g.Item() != 2 {
+		t.Fatalf("grad through Detach = %g, want 2", g.Item())
+	}
+}
+
+// Finite-difference checks for each primitive and common compositions.
+func TestGradientNumericAgreement(t *testing.T) {
+	tests := []struct {
+		name   string
+		shapes [][]int
+		f      func(xs []*Value) *Value
+		seed   int64
+	}{
+		{"add", [][]int{{2, 3}, {2, 3}}, func(xs []*Value) *Value { return SumAll(Add(xs[0], xs[1])) }, 1},
+		{"mul", [][]int{{2, 3}, {2, 3}}, func(xs []*Value) *Value { return SumAll(Mul(xs[0], xs[1])) }, 2},
+		{"div", [][]int{{4}, {4}}, func(xs []*Value) *Value {
+			return SumAll(Div(xs[0], AddConst(PowConst(xs[1], 2), 1)))
+		}, 3},
+		{"scale-neg", [][]int{{3}}, func(xs []*Value) *Value { return SumAll(Neg(Scale(xs[0], 2.5))) }, 4},
+		{"pow3", [][]int{{4}}, func(xs []*Value) *Value { return SumAll(PowConst(xs[0], 3)) }, 5},
+		{"exp", [][]int{{4}}, func(xs []*Value) *Value { return SumAll(Exp(xs[0])) }, 6},
+		{"log-of-positive", [][]int{{4}}, func(xs []*Value) *Value {
+			return SumAll(Log(AddConst(PowConst(xs[0], 2), 1)))
+		}, 7},
+		{"sqrt-of-positive", [][]int{{4}}, func(xs []*Value) *Value {
+			return SumAll(Sqrt(AddConst(PowConst(xs[0], 2), 0.5)))
+		}, 8},
+		{"matmul", [][]int{{3, 4}, {4, 2}}, func(xs []*Value) *Value { return SumAll(MatMul(xs[0], xs[1])) }, 9},
+		{"matmul-quadratic", [][]int{{2, 3}}, func(xs []*Value) *Value {
+			return SumAll(MatMul(xs[0], Transpose(xs[0])))
+		}, 10},
+		{"transpose", [][]int{{2, 3}}, func(xs []*Value) *Value {
+			return SumAll(Mul(Transpose(xs[0]), Transpose(xs[0])))
+		}, 11},
+		{"reshape", [][]int{{2, 6}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(Reshape(xs[0], 3, 4), 2))
+		}, 12},
+		{"sumaxes-broadcast", [][]int{{3, 4}}, func(xs []*Value) *Value {
+			m := Scale(SumAxes(xs[0], 1), 0.25) // row means [3,1]
+			return SumAll(PowConst(Sub(xs[0], BroadcastTo(m, 3, 4)), 2))
+		}, 13},
+		{"mean", [][]int{{5}}, func(xs []*Value) *Value { return Mean(PowConst(xs[0], 2)) }, 14},
+		{"expand", [][]int{{1}}, func(xs []*Value) *Value {
+			return SumAll(Mul(Expand(xs[0], 2, 3), Expand(xs[0], 2, 3)))
+		}, 15},
+		{"dot-cosine", [][]int{{4}, {4}}, func(xs []*Value) *Value {
+			// 1 - cosine similarity, the distillation distance kernel.
+			num := Dot(xs[0], xs[1])
+			den := Sqrt(AddConst(Mul(Dot(xs[0], xs[0]), Dot(xs[1], xs[1])), 1e-6))
+			return Sub(Scalar(1), Div(num, den))
+		}, 16},
+		{"im2col", [][]int{{1, 4, 4, 2}}, func(xs []*Value) *Value {
+			g := tensor.ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 4, InW: 4, Channel: 2}
+			return SumAll(PowConst(Im2col(xs[0], g), 2))
+		}, 17},
+		{"col2im", [][]int{{4, 4}}, func(xs []*Value) *Value {
+			g := tensor.ConvGeom{Kernel: 2, Stride: 1, Pad: 0, InH: 3, InW: 3, Channel: 1}
+			return SumAll(PowConst(Col2im(xs[0], 1, g), 2))
+		}, 18},
+		{"relu", [][]int{{6}}, func(xs []*Value) *Value {
+			// Offset keeps values away from the kink where FD is invalid.
+			return SumAll(PowConst(ReLU(AddConst(xs[0], 0.3)), 2))
+		}, 19},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			xs := make([]*tensor.Tensor, len(tc.shapes))
+			for i, sh := range tc.shapes {
+				xs[i] = randT(tc.seed*100+int64(i), 1, sh...)
+			}
+			if err := CheckGradient(tc.f, xs, fdEps, fdTol); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Second-order: d²/dx² of known functions via Grad-of-Grad.
+func TestSecondOrderScalar(t *testing.T) {
+	// y = x³ ⇒ y'' = 6x; at x = 2 → 12.
+	x := Var(tensor.FromSlice([]float64{2}, 1))
+	y := PowConst(x, 3)
+	dy := MustGrad(y, []*Value{x})[0]
+	if math.Abs(dy.Item()-12) > 1e-10 {
+		t.Fatalf("y' = %g, want 12", dy.Item())
+	}
+	d2y := MustGrad(dy, []*Value{x})[0]
+	if math.Abs(d2y.Item()-12) > 1e-10 {
+		t.Fatalf("y'' = %g, want 12", d2y.Item())
+	}
+}
+
+func TestSecondOrderMixedPartial(t *testing.T) {
+	// f = x²y ⇒ ∂f/∂x = 2xy, ∂²f/∂x∂y = 2x. At x=3, y=5: 6.
+	x := Var(tensor.FromSlice([]float64{3}, 1))
+	y := Var(tensor.FromSlice([]float64{5}, 1))
+	f := Mul(Mul(x, x), y)
+	fx := MustGrad(f, []*Value{x})[0]
+	if fx.Item() != 30 {
+		t.Fatalf("∂f/∂x = %g, want 30", fx.Item())
+	}
+	fxy := MustGrad(fx, []*Value{y})[0]
+	if fxy.Item() != 6 {
+		t.Fatalf("∂²f/∂x∂y = %g, want 6", fxy.Item())
+	}
+}
+
+// The signature QuickDrop computation: gradient of a function of a gradient.
+// With L(θ) = ½‖θ⊙s‖², ∇θL = θ⊙s², and for m(s) = Σ∇θL the gradient w.r.t.
+// s is 2θ⊙s.
+func TestGradOfGradWrtOtherVariable(t *testing.T) {
+	theta := Var(tensor.FromSlice([]float64{1, 2, 3}, 3))
+	s := Var(tensor.FromSlice([]float64{0.5, -1, 2}, 3))
+	loss := Scale(SumAll(PowConst(Mul(theta, s), 2)), 0.5)
+	gradTheta := MustGrad(loss, []*Value{theta})[0]
+	m := SumAll(gradTheta)
+	gs := MustGrad(m, []*Value{s})[0]
+	want := []float64{2 * 1 * 0.5, 2 * 2 * -1, 2 * 3 * 2}
+	for i, w := range want {
+		if math.Abs(gs.Data.Data()[i]-w) > 1e-10 {
+			t.Fatalf("grad-of-grad elem %d = %g, want %g", i, gs.Data.Data()[i], w)
+		}
+	}
+}
+
+// Numeric check of a second-order quantity: h(x) = f'(x) for f = exp(x²),
+// compared against finite differences of the analytic first derivative.
+func TestSecondOrderNumeric(t *testing.T) {
+	first := func(xv float64) float64 {
+		x := Var(tensor.FromSlice([]float64{xv}, 1))
+		f := Exp(PowConst(x, 2))
+		return MustGrad(f, []*Value{x})[0].Item()
+	}
+	xv := 0.7
+	x := Var(tensor.FromSlice([]float64{xv}, 1))
+	f := Exp(PowConst(x, 2))
+	df := MustGrad(f, []*Value{x})[0]
+	d2f := MustGrad(df, []*Value{x})[0]
+	numeric := (first(xv+fdEps) - first(xv-fdEps)) / (2 * fdEps)
+	if math.Abs(d2f.Item()-numeric) > 1e-5*(1+math.Abs(numeric)) {
+		t.Fatalf("d²f = %g, numeric %g", d2f.Item(), numeric)
+	}
+}
+
+// Property: Grad of a linear functional w.r.t. its input recovers the
+// coefficient tensor exactly, regardless of shape.
+func TestLinearGradProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		coef := tensor.Randn(r, 1, n)
+		x := Var(tensor.Randn(r, 1, n))
+		y := Dot(Const(coef), x)
+		g := MustGrad(y, []*Value{x})[0]
+		for i := range coef.Data() {
+			if math.Abs(g.Data.Data()[i]-coef.Data()[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gradients are linear in the output — Grad(a·f + b·g) =
+// a·Grad(f) + b·Grad(g).
+func TestGradLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := r.NormFloat64(), r.NormFloat64()
+		xt := tensor.Randn(r, 1, 4)
+
+		xm := Var(xt.Clone())
+		mixed := Add(Scale(SumAll(PowConst(xm, 2)), a), Scale(SumAll(Exp(xm)), b))
+		gmix := MustGrad(mixed, []*Value{xm})[0].Data.Data()
+
+		x := Var(xt.Clone())
+		g1 := MustGrad(SumAll(PowConst(x, 2)), []*Value{x})[0]
+		x2 := Var(xt.Clone())
+		g2 := MustGrad(SumAll(Exp(x2)), []*Value{x2})[0]
+		for i := range gmix {
+			want := a*g1.Data.Data()[i] + b*g2.Data.Data()[i]
+			if math.Abs(gmix[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Const(tensor.Ones(2)).Item()
+}
+
+func TestExpandValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Expand(Const(tensor.Ones(2)), 2, 2)
+}

@@ -1,0 +1,178 @@
+// Package autodiff implements define-by-run reverse-mode automatic
+// differentiation over tensor.Tensor values.
+//
+// The distinguishing property — required by QuickDrop's gradient-matching
+// distillation — is support for higher-order derivatives: every primitive's
+// vector-Jacobian product (VJP) is itself expressed in terms of autodiff
+// primitives, so the backward pass builds a differentiable graph. Calling
+// Grad on the output of a previous Grad therefore yields exact second-order
+// gradients, which is what ∂d(∇θL^S, ∇θL^D)/∂S needs.
+package autodiff
+
+import (
+	"fmt"
+
+	"quickdrop/internal/tensor"
+)
+
+// Value is a node in the computation graph: an eagerly computed tensor plus
+// the recipe to backpropagate through the operation that produced it.
+type Value struct {
+	// Data holds the node's computed tensor. It must not be mutated after
+	// the node participates in a graph.
+	Data *tensor.Tensor
+
+	op           string
+	inputs       []*Value
+	vjp          func(g *Value) []*Value
+	requiresGrad bool
+}
+
+// Const wraps a tensor as a constant leaf (no gradient flows into it).
+func Const(t *tensor.Tensor) *Value {
+	return &Value{Data: t, op: "const"}
+}
+
+// Var wraps a tensor as a differentiable leaf.
+func Var(t *tensor.Tensor) *Value {
+	return &Value{Data: t, op: "var", requiresGrad: true}
+}
+
+// Scalar returns a constant scalar node of shape [1].
+func Scalar(v float64) *Value {
+	return Const(tensor.FromSlice([]float64{v}, 1))
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Op returns the name of the operation that produced this node.
+func (v *Value) Op() string { return v.op }
+
+// Shape returns the shape of the node's tensor.
+func (v *Value) Shape() []int { return v.Data.Shape() }
+
+// Item returns the single element of a scalar node.
+func (v *Value) Item() float64 {
+	if v.Data.Len() != 1 {
+		panic(fmt.Sprintf("autodiff: Item on non-scalar %v", v.Data.Shape()))
+	}
+	return v.Data.Data()[0]
+}
+
+// newNode constructs an interior node. requiresGrad is inherited from any
+// differentiable input.
+func newNode(op string, data *tensor.Tensor, inputs []*Value, vjp func(g *Value) []*Value) *Value {
+	rg := false
+	for _, in := range inputs {
+		if in.requiresGrad {
+			rg = true
+			break
+		}
+	}
+	if !rg {
+		// No gradient can flow through: collapse to a constant so the
+		// backward traversal never visits this subgraph.
+		return &Value{Data: data, op: op}
+	}
+	return &Value{Data: data, op: op, inputs: inputs, vjp: vjp, requiresGrad: true}
+}
+
+// Grad computes ∂out/∂wrt[i] for a scalar-valued out. The returned values
+// are themselves graph nodes, so they can be differentiated again
+// (higher-order gradients). Inputs that out does not depend on receive a
+// zero gradient of matching shape.
+func Grad(out *Value, wrt []*Value) ([]*Value, error) {
+	if out.Data.Len() != 1 {
+		return nil, fmt.Errorf("autodiff: Grad requires a scalar output, got shape %v", out.Data.Shape())
+	}
+	if !out.requiresGrad {
+		zs := make([]*Value, len(wrt))
+		for i, w := range wrt {
+			zs[i] = Const(tensor.New(w.Data.Shape()...))
+		}
+		return zs, nil
+	}
+
+	// Topological order of the subgraph reachable from out that requires
+	// gradient, via iterative DFS (models can be deep).
+	order := topoOrder(out)
+
+	grads := make(map[*Value]*Value, len(order))
+	grads[out] = Const(tensor.Ones(1))
+
+	// Traverse in reverse topological order, accumulating VJPs.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		g, ok := grads[n]
+		if !ok || n.vjp == nil {
+			continue
+		}
+		inGrads := n.vjp(g)
+		if len(inGrads) != len(n.inputs) {
+			return nil, fmt.Errorf("autodiff: op %q returned %d gradients for %d inputs", n.op, len(inGrads), len(n.inputs))
+		}
+		for j, in := range n.inputs {
+			ig := inGrads[j]
+			if ig == nil || !in.requiresGrad {
+				continue
+			}
+			if !ig.Data.SameShape(in.Data) {
+				return nil, fmt.Errorf("autodiff: op %q produced gradient shape %v for input shape %v", n.op, ig.Data.Shape(), in.Data.Shape())
+			}
+			if acc, ok := grads[in]; ok {
+				grads[in] = Add(acc, ig)
+			} else {
+				grads[in] = ig
+			}
+		}
+	}
+
+	res := make([]*Value, len(wrt))
+	for i, w := range wrt {
+		if g, ok := grads[w]; ok {
+			res[i] = g
+		} else {
+			res[i] = Const(tensor.New(w.Data.Shape()...))
+		}
+	}
+	return res, nil
+}
+
+// MustGrad is Grad but panics on error; convenient inside training loops
+// where the graph shape is fixed and an error indicates a programming bug.
+func MustGrad(out *Value, wrt []*Value) []*Value {
+	gs, err := Grad(out, wrt)
+	if err != nil {
+		panic(err)
+	}
+	return gs
+}
+
+// topoOrder returns nodes reachable from root that require gradients, in
+// topological order (inputs before outputs).
+func topoOrder(root *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	type frame struct {
+		node *Value
+		next int
+	}
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.inputs) {
+			in := f.node.inputs[f.next]
+			f.next++
+			if !visited[in] && in.requiresGrad {
+				visited[in] = true
+				stack = append(stack, frame{node: in})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}

@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/fl"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/optim"
+	"quickdrop/internal/tensor"
+)
+
+// FedEraser (Liu et al. 2021) trades server storage for unlearning speed:
+// during training it records every participating client's per-round
+// parameter update; to unlearn, it replays training from the initial model
+// with the stored update *norms* but fresh *directions* obtained from a
+// few cheap calibration steps on the retain data. Storage grows linearly
+// with clients × rounds — the drawback the paper highlights.
+type FedEraser struct {
+	*base
+	// CalibrationSteps is how many local steps calibration uses — a small
+	// fraction of the training T (FedEraser's speedup lever).
+	CalibrationSteps int
+	// Interval keeps every Interval-th round's updates (≥1).
+	Interval int
+
+	initParams []*tensor.Tensor
+	// history[k] maps clientID → that client's recorded update Δ in round k.
+	history []map[int][]*tensor.Tensor
+	// StoredFloats counts the retained parameters (storage cost).
+	StoredFloats int
+}
+
+// NewFedEraser constructs the baseline.
+func NewFedEraser(cfg Config, clients []*data.Dataset) (*FedEraser, error) {
+	b, err := newBase(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	return &FedEraser{base: b, CalibrationSteps: 1, Interval: 1}, nil
+}
+
+// Name implements Method.
+func (f *FedEraser) Name() string { return "FedEraser" }
+
+// Capabilities implements Method.
+func (f *FedEraser) Capabilities() Capabilities {
+	return Capabilities{
+		Name: f.Name(), ClassLevel: true, ClientLevel: true, SampleLevel: true, Relearn: true,
+		StorageEfficient: false, ComputeEfficiency: "low",
+	}
+}
+
+// Prepare implements Method: standard FL training with update recording.
+func (f *FedEraser) Prepare() error {
+	if f.Interval < 1 || f.CalibrationSteps < 1 {
+		return fmt.Errorf("baselines: invalid FedEraser settings interval=%d calSteps=%d", f.Interval, f.CalibrationSteps)
+	}
+	f.initParams = f.model.CloneParams()
+	return f.trainInitial(func(cfg *fl.PhaseConfig) {
+		cfg.UpdateHook = func(round, clientID int, before, after []*tensor.Tensor) {
+			if round%f.Interval != 0 {
+				return
+			}
+			k := round / f.Interval
+			for len(f.history) <= k {
+				f.history = append(f.history, make(map[int][]*tensor.Tensor))
+			}
+			delta := make([]*tensor.Tensor, len(after))
+			for i := range after {
+				delta[i] = after[i].Sub(before[i])
+				f.StoredFloats += delta[i].Len()
+			}
+			f.history[k][clientID] = delta
+		}
+	})
+}
+
+// Unlearn implements Method: calibrated replay of the recorded rounds on
+// the retain data, followed by a short standard recovery phase.
+func (f *FedEraser) Unlearn(req core.Request) (Result, error) {
+	if err := f.checkUnlearn(req, f.Capabilities()); err != nil {
+		return Result{}, err
+	}
+	if _, err := f.forgetShards(req); err != nil {
+		return Result{}, err
+	}
+	f.forget.Mark(req, true)
+	retain := f.retainShards()
+
+	var res Result
+	start := time.Now()
+	f.model.SetParams(f.initParams)
+	replayed := 0
+	samples := 0
+	for _, roundUpdates := range f.history {
+		if len(roundUpdates) == 0 {
+			continue
+		}
+		if err := f.calibratedRound(roundUpdates, retain, &samples); err != nil {
+			f.forget.Mark(req, false)
+			return res, err
+		}
+		replayed++
+	}
+	res.Unlearn = eval.Cost{Rounds: replayed, WallTime: time.Since(start), DataSize: samples}
+	f.observe("unlearn")
+
+	var err error
+	res.Recover, err = f.runPhase(retain, f.cfg.RecoverPhase, optim.Descend)
+	if err != nil {
+		return res, err
+	}
+	res.finish()
+	f.observe("recover")
+	return res, nil
+}
+
+// calibratedRound applies one FedEraser update: every retained client with
+// a recorded update runs CalibrationSteps cheap local steps; the new
+// global step keeps the stored update's norm but the calibrated direction.
+func (f *FedEraser) calibratedRound(recorded map[int][]*tensor.Tensor, retain []*data.Dataset, samples *int) error {
+	global := f.model.CloneParams()
+	agg := make([]*tensor.Tensor, len(global))
+	for i, g := range global {
+		agg[i] = tensor.New(g.Shape()...)
+	}
+	totalWeight := 0.0
+	for clientID, delta := range recorded {
+		ds := retain[clientID]
+		if ds == nil || ds.Len() == 0 {
+			continue // the forgotten client (or one with no retain data)
+		}
+		f.model.SetParams(global)
+		f.localCalibration(ds)
+		*samples += min(ds.Len(), f.CalibrationSteps*f.cfg.Train.BatchSize)
+		w := float64(ds.Len())
+		totalWeight += w
+		for i, p := range f.model.ParamTensors() {
+			cal := p.Sub(global[i])
+			calNorm, oldNorm := cal.Norm(), delta[i].Norm()
+			if calNorm > 1e-12 {
+				cal.ScaleInPlace(oldNorm / calNorm)
+			}
+			agg[i].AxpyInPlace(w, global[i].Add(cal))
+		}
+	}
+	if totalWeight == 0 {
+		return fmt.Errorf("baselines: FedEraser has no retained client to calibrate with")
+	}
+	for i := range agg {
+		agg[i].ScaleInPlace(1 / totalWeight)
+	}
+	f.model.SetParams(agg)
+	return nil
+}
+
+func (f *FedEraser) localCalibration(ds *data.Dataset) {
+	opt := optim.NewSGD(f.cfg.Train.LR)
+	for step := 0; step < f.CalibrationSteps; step++ {
+		x, labels := ds.SampleBatch(f.rng, f.cfg.Train.BatchSize)
+		bound := f.model.Bind()
+		loss := nn.CrossEntropy(bound.Forward(adConst(x)), nn.OneHot(labels, f.model.Classes))
+		grads := mustGradTensors(loss, bound)
+		opt.Step(f.model.ParamTensors(), grads)
+		f.counter.AddBatch(len(labels))
+	}
+}
+
+// Relearn implements Method.
+func (f *FedEraser) Relearn(req core.Request) (Result, error) { return f.relearnOriginal(req) }
+
+// StorageBytes returns the storage cost of the recorded history in bytes
+// (float64 parameters).
+func (f *FedEraser) StorageBytes() int { return 8 * f.StoredFloats }

@@ -1,0 +1,239 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/optim"
+)
+
+// FUMP implements FU-MP (Wang et al. 2022): federated unlearning via
+// class-discriminative channel pruning. Clients score how strongly each
+// channel of the last convolution responds to each class (a TF-IDF over
+// mean channel activations); the server prunes the channels most
+// discriminative for the target class, then runs recovery rounds on the
+// retain data. Pruning irreversibly modifies the model, so FU-MP supports
+// neither client-level unlearning nor relearning (paper Table 1).
+type FUMP struct {
+	*base
+	// PruneFraction is the share of channels pruned for the target class.
+	PruneFraction float64
+	// ProbeBatch bounds how many per-class samples score the channels.
+	ProbeBatch int
+}
+
+// NewFUMP constructs the baseline.
+func NewFUMP(cfg Config, clients []*data.Dataset) (*FUMP, error) {
+	b, err := newBase(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	return &FUMP{base: b, PruneFraction: 0.3, ProbeBatch: 32}, nil
+}
+
+// Name implements Method.
+func (f *FUMP) Name() string { return "FU-MP" }
+
+// Capabilities implements Method.
+func (f *FUMP) Capabilities() Capabilities {
+	return Capabilities{
+		Name: f.Name(), ClassLevel: true, ClientLevel: false, Relearn: false,
+		StorageEfficient: true, ComputeEfficiency: "medium",
+	}
+}
+
+// Prepare implements Method.
+func (f *FUMP) Prepare() error { return f.trainInitial(nil) }
+
+// Unlearn implements Method: score channels, prune, recover.
+func (f *FUMP) Unlearn(req core.Request) (Result, error) {
+	if err := f.checkUnlearn(req, f.Capabilities()); err != nil {
+		return Result{}, err
+	}
+	if _, err := f.forgetShards(req); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	start := time.Now()
+	probed, err := f.pruneClassChannels(req.Class)
+	if err != nil {
+		return res, err
+	}
+	res.Unlearn = eval.Cost{Rounds: 1, WallTime: time.Since(start), DataSize: probed}
+	f.observe("unlearn")
+	f.forget.Mark(req, true)
+
+	res.Recover, err = f.runPhase(f.retainShards(), f.cfg.RecoverPhase, optim.Descend)
+	if err != nil {
+		return res, err
+	}
+	res.finish()
+	f.observe("recover")
+	return res, nil
+}
+
+// Relearn implements Method: always fails — pruning removed the channels.
+func (f *FUMP) Relearn(core.Request) (Result, error) {
+	return Result{}, fmt.Errorf("baselines: FU-MP cannot relearn — channel pruning is irreversible")
+}
+
+// pruneClassChannels measures class-discrimination of the last conv
+// block's channels via inference on client data (the paper notes FU-MP's
+// unlearning only needs inference, making it fast) and zeroes the most
+// target-class-discriminative filters. Returns the number of samples used
+// for probing.
+func (f *FUMP) pruneClassChannels(target int) (int, error) {
+	convIdx, norm, conv := f.lastConvBlock()
+	if conv == nil {
+		return 0, fmt.Errorf("baselines: model has no convolution layer to prune")
+	}
+	// The activation tensor right after the last conv's ReLU is at layer
+	// index convIdx+3 when a norm layer follows (conv, norm, relu), else
+	// convIdx+2.
+	actLayer := convIdx + 2
+	if norm != nil {
+		actLayer = convIdx + 3
+	}
+
+	classes := f.model.Classes
+	filters := conv.Filters
+	mean := make([][]float64, classes) // mean activation per (class, filter)
+	probed := 0
+	for c := 0; c < classes; c++ {
+		mean[c] = make([]float64, filters)
+		// Pool per-class samples across clients.
+		var parts []*data.Dataset
+		for _, cl := range f.clients {
+			if cl != nil {
+				parts = append(parts, cl.OfClass(c))
+			}
+		}
+		pool := data.Merge(parts...)
+		if pool.Len() == 0 {
+			continue
+		}
+		x, _ := pool.SampleBatch(f.rng, f.ProbeBatch)
+		probed += x.Dim(0)
+		act := f.model.ForwardLayers(x, actLayer) // [B, H, W, F]
+		sh := act.Shape()
+		per := sh[1] * sh[2]
+		d := act.Data()
+		for i := 0; i < len(d); i++ {
+			mean[c][i%filters] += d[i]
+		}
+		for fi := 0; fi < filters; fi++ {
+			mean[c][fi] /= float64(sh[0] * per)
+		}
+	}
+
+	scores := tfidfScores(mean, target)
+	prune := int(f.PruneFraction * float64(filters))
+	if prune < 1 {
+		prune = 1
+	}
+	order := argsortDesc(scores)
+	w, b := conv.Params()[0].Data, conv.Params()[1].Data
+	for _, fi := range order[:prune] {
+		for r := 0; r < w.Dim(0); r++ {
+			w.Set(0, r, fi)
+		}
+		b.Data()[fi] = 0
+		if norm != nil {
+			norm.Params()[0].Data.Data()[fi] = 0 // gamma
+			norm.Params()[1].Data.Data()[fi] = 0 // beta
+		}
+	}
+
+	// The target class's output channel is its most discriminative channel
+	// by construction; sever it too. At this reproduction's network widths
+	// conv channels are shared across classes, so pruning them alone
+	// cannot erase a class the way it does at the paper's 128-filter width
+	// (see DESIGN.md). Like the conv pruning, this is irreversible.
+	f.pruneClassifierUnit(target)
+	return probed, nil
+}
+
+// pruneClassifierUnit zeroes the classifier weights and bias feeding the
+// target class logit and pins the bias far negative so the pruned class
+// can never win the argmax again.
+func (f *FUMP) pruneClassifierUnit(target int) {
+	layers := f.model.Layers()
+	for i := len(layers) - 1; i >= 0; i-- {
+		d, ok := layers[i].(*nn.Dense)
+		if !ok {
+			continue
+		}
+		w, b := d.Params()[0].Data, d.Params()[1].Data
+		for r := 0; r < w.Dim(0); r++ {
+			w.Set(0, r, target)
+		}
+		b.Data()[target] = -1e3
+		return
+	}
+}
+
+// lastConvBlock locates the final Conv2D layer and its following
+// InstanceNorm (if any).
+func (f *FUMP) lastConvBlock() (idx int, norm *nn.InstanceNorm, conv *nn.Conv2D) {
+	layers := f.model.Layers()
+	for i, l := range layers {
+		if c, ok := l.(*nn.Conv2D); ok {
+			idx, conv = i, c
+		}
+	}
+	if conv != nil && idx+1 < len(layers) {
+		if n, ok := layers[idx+1].(*nn.InstanceNorm); ok {
+			norm = n
+		}
+	}
+	return idx, norm, conv
+}
+
+// tfidfScores computes the class-discrimination score of each channel for
+// the target class: term frequency of the channel within the class,
+// weighted by inverse "document frequency" across classes (Wang et al.).
+func tfidfScores(mean [][]float64, target int) []float64 {
+	classes := len(mean)
+	filters := len(mean[target])
+	scores := make([]float64, filters)
+	// Per-class activation mass for TF normalization.
+	tf := func(c, fi int) float64 {
+		total := 0.0
+		for _, v := range mean[c] {
+			total += math.Abs(v)
+		}
+		if total == 0 {
+			return 0
+		}
+		return math.Abs(mean[c][fi]) / total
+	}
+	for fi := 0; fi < filters; fi++ {
+		// Document frequency: classes where the channel's TF exceeds the
+		// mean TF (1/filters).
+		df := 0
+		for c := 0; c < classes; c++ {
+			if tf(c, fi) > 1/float64(filters) {
+				df++
+			}
+		}
+		idf := math.Log(float64(classes) / (1 + float64(df)))
+		scores[fi] = tf(target, fi) * (idf + 1) // +1 keeps scores positive
+	}
+	return scores
+}
+
+func argsortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx
+}

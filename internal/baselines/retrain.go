@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/optim"
+)
+
+// RetrainOr is the retraining oracle: it serves an unlearning request by
+// discarding the model and running FL training from scratch on D\D_f.
+// It achieves ideal forgetting at maximal cost (paper §2.3).
+type RetrainOr struct {
+	*base
+}
+
+// NewRetrainOr constructs the oracle.
+func NewRetrainOr(cfg Config, clients []*data.Dataset) (*RetrainOr, error) {
+	b, err := newBase(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	return &RetrainOr{base: b}, nil
+}
+
+// Name implements Method.
+func (r *RetrainOr) Name() string { return "Retrain-Or" }
+
+// Capabilities implements Method.
+func (r *RetrainOr) Capabilities() Capabilities {
+	return Capabilities{
+		Name: r.Name(), ClassLevel: true, ClientLevel: true, SampleLevel: true, Relearn: true,
+		StorageEfficient: true, ComputeEfficiency: "very low",
+	}
+}
+
+// Prepare implements Method.
+func (r *RetrainOr) Prepare() error { return r.trainInitial(nil) }
+
+// Unlearn implements Method: re-initialize and retrain on the retain data.
+// There is no separate recovery stage (the retraining is both).
+func (r *RetrainOr) Unlearn(req core.Request) (Result, error) {
+	if err := r.checkUnlearn(req, r.Capabilities()); err != nil {
+		return Result{}, err
+	}
+	if _, err := r.forgetShards(req); err != nil {
+		return Result{}, err // validates the request targets real data
+	}
+	r.forget.Mark(req, true)
+
+	start := time.Now()
+	r.model = nn.NewConvNet(r.cfg.Arch, r.rng) // fresh initialization
+	retrain := r.cfg.Train
+	retrain.Rounds = r.cfg.RetrainRounds
+	var res Result
+	var err error
+	res.Unlearn, err = r.runPhase(r.retainShards(), retrain, optim.Descend)
+	if err != nil {
+		r.forget.Mark(req, false)
+		return res, err
+	}
+	res.Unlearn.WallTime = time.Since(start)
+	res.finish()
+	r.observe("unlearn")
+	r.observe("recover")
+	return res, nil
+}
+
+// Relearn implements Method.
+func (r *RetrainOr) Relearn(req core.Request) (Result, error) { return r.relearnOriginal(req) }

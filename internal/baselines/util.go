@@ -1,0 +1,21 @@
+package baselines
+
+import (
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/tensor"
+)
+
+// adConst wraps a tensor as a constant graph node.
+func adConst(t *tensor.Tensor) *ad.Value { return ad.Const(t) }
+
+// mustGradTensors backpropagates loss through the bound model and returns
+// raw gradient tensors aligned with the model parameters.
+func mustGradTensors(loss *ad.Value, bound *nn.Bound) []*tensor.Tensor {
+	grads := ad.MustGrad(loss, bound.ParamVars())
+	out := make([]*tensor.Tensor, len(grads))
+	for i, g := range grads {
+		out[i] = g.Data
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/distill"
+)
+
+// State serialization lets a deployment persist everything needed to
+// serve future unlearning requests — the global model, every client's
+// synthetic dataset with its group structure, and the forget ledger —
+// and restore it after a restart. The original client datasets are NOT
+// stored (they never leave the clients); a restored System can unlearn,
+// recover and relearn, but recovery augmentation needs the live client
+// data to be re-attached, which NewSystem already requires.
+//
+// Format (little endian):
+//
+//	uint32 magic "QDST"
+//	model parameters (nn.Model.WriteTo)
+//	uint32 clientCount
+//	per client: uint8 hasSynthetic;
+//	  dataset (data.Dataset.WriteTo)
+//	  uint32 groupCount; per group: class, group, realLen, real…, synLen, syn…
+//	forget ledger: removed classes, clients, per-client samples,
+//	  per-client removed groups
+const stateMagic = 0x51445354 // "QDST"
+
+// SaveState serializes the trained system's durable state.
+func (s *System) SaveState(w io.Writer) error {
+	if !s.trained {
+		return fmt.Errorf("core: SaveState before Train")
+	}
+	wr := &stateWriter{w: w}
+	wr.u32(stateMagic)
+	if _, err := s.Model.WriteTo(w); err != nil {
+		return err
+	}
+	wr.u32(uint32(len(s.Clients)))
+	for i := range s.Clients {
+		syn := s.Synthetic(i)
+		if syn == nil {
+			wr.u8(0)
+			continue
+		}
+		wr.u8(1)
+		if wr.err == nil {
+			_, wr.err = syn.WriteTo(w)
+		}
+		writeGrouping(wr, s.Matcher.Groupings[i])
+	}
+	// Forget ledger.
+	wr.ints(s.forget.RemovedClasses())
+	var removedClients []int
+	for i := range s.Clients {
+		if s.forget.ClientRemoved(i) {
+			removedClients = append(removedClients, i)
+		}
+	}
+	wr.ints(removedClients)
+	wr.u32(uint32(len(s.Clients)))
+	for i := range s.Clients {
+		wr.ints(sortedIntSet(s.forget.RemovedSamples(i)))
+	}
+	wr.u32(uint32(len(s.Clients)))
+	for i := range s.Clients {
+		keys := make([]distill.GroupKey, 0, len(s.removedGroups[i]))
+		for k := range s.removedGroups[i] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].Class != keys[b].Class {
+				return keys[a].Class < keys[b].Class
+			}
+			return keys[a].Group < keys[b].Group
+		})
+		wr.u32(uint32(len(keys)))
+		for _, k := range keys {
+			wr.u32(uint32(k.Class))
+			wr.u32(uint32(k.Group))
+		}
+	}
+	return wr.err
+}
+
+// LoadState restores state saved by SaveState into a freshly constructed
+// (untrained) System with the same configuration and client layout. After
+// loading, the system behaves as if Train had run in this process.
+func (s *System) LoadState(r io.Reader) error {
+	if s.trained {
+		return fmt.Errorf("core: LoadState on an already-trained system")
+	}
+	rd := &stateReader{r: r}
+	if m := rd.u32(); rd.err == nil && m != stateMagic {
+		return fmt.Errorf("core: bad state magic %#x", m)
+	}
+	if rd.err != nil {
+		return rd.err
+	}
+	if err := s.Model.LoadFrom(r); err != nil {
+		return err
+	}
+	n := int(rd.u32())
+	if rd.err != nil {
+		return rd.err
+	}
+	if n != len(s.Clients) {
+		return fmt.Errorf("core: state has %d clients, system has %d", n, len(s.Clients))
+	}
+	s.Matcher = &distill.Matcher{
+		Cfg:       s.Cfg.Distill,
+		Sets:      make(map[int]*data.Dataset, n),
+		Groupings: make(map[int]*distill.Grouping, n),
+		Distance:  distill.MatchDistance,
+	}
+	if s.Cfg.DistillDistance != nil {
+		s.Matcher.Distance = s.Cfg.DistillDistance
+	}
+	for i := 0; i < n; i++ {
+		if rd.u8() == 0 {
+			continue
+		}
+		if rd.err != nil {
+			return rd.err
+		}
+		syn, err := data.ReadDataset(r)
+		if err != nil {
+			return fmt.Errorf("core: client %d synthetic set: %w", i, err)
+		}
+		s.Matcher.Sets[i] = syn
+		g, err := readGrouping(rd)
+		if err != nil {
+			return fmt.Errorf("core: client %d grouping: %w", i, err)
+		}
+		s.Matcher.Groupings[i] = g
+	}
+	// Forget ledger.
+	for _, c := range rd.intsList() {
+		s.forget.Mark(Request{Kind: ClassLevel, Class: c}, true)
+	}
+	for _, c := range rd.intsList() {
+		s.forget.Mark(Request{Kind: ClientLevel, Client: c}, true)
+	}
+	if cn := int(rd.u32()); rd.err == nil && cn == len(s.Clients) {
+		for i := 0; i < cn; i++ {
+			if samples := rd.intsList(); len(samples) > 0 {
+				s.forget.Mark(Request{Kind: SampleLevel, Client: i, Samples: samples}, true)
+			}
+		}
+	} else if rd.err == nil {
+		return fmt.Errorf("core: sample ledger client count mismatch")
+	}
+	if cn := int(rd.u32()); rd.err == nil && cn == len(s.Clients) {
+		for i := 0; i < cn; i++ {
+			k := int(rd.u32())
+			for j := 0; j < k && rd.err == nil; j++ {
+				key := distill.GroupKey{Class: int(rd.u32()), Group: int(rd.u32())}
+				if s.removedGroups[i] == nil {
+					s.removedGroups[i] = make(map[distill.GroupKey]bool)
+				}
+				s.removedGroups[i][key] = true
+			}
+		}
+	} else if rd.err == nil {
+		return fmt.Errorf("core: group ledger client count mismatch")
+	}
+	if rd.err != nil {
+		return rd.err
+	}
+	s.trained = true
+	return nil
+}
+
+func writeGrouping(wr *stateWriter, g *distill.Grouping) {
+	if g == nil {
+		wr.u32(0)
+		return
+	}
+	keys := g.Keys()
+	wr.u32(uint32(len(keys)))
+	for _, k := range keys {
+		wr.u32(uint32(k.Class))
+		wr.u32(uint32(k.Group))
+		wr.ints(g.Real[k])
+		wr.ints(g.Syn[k])
+	}
+}
+
+func readGrouping(rd *stateReader) (*distill.Grouping, error) {
+	n := int(rd.u32())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	g := &distill.Grouping{
+		Real: make(map[distill.GroupKey][]int, n),
+		Syn:  make(map[distill.GroupKey][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		key := distill.GroupKey{Class: int(rd.u32()), Group: int(rd.u32())}
+		g.Real[key] = rd.intsList()
+		g.Syn[key] = rd.intsList()
+		if rd.err != nil {
+			return nil, rd.err
+		}
+	}
+	return g, nil
+}
+
+func sortedIntSet(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stateWriter/stateReader carry the first error through a sequence of
+// fixed-width writes, keeping the codec readable.
+type stateWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stateWriter) u32(v uint32) {
+	if s.err == nil {
+		s.err = binary.Write(s.w, binary.LittleEndian, v)
+	}
+}
+
+func (s *stateWriter) u8(v uint8) {
+	if s.err == nil {
+		s.err = binary.Write(s.w, binary.LittleEndian, v)
+	}
+}
+
+func (s *stateWriter) ints(v []int) {
+	s.u32(uint32(len(v)))
+	for _, x := range v {
+		s.u32(uint32(x))
+	}
+}
+
+type stateReader struct {
+	r   io.Reader
+	err error
+}
+
+func (s *stateReader) u32() uint32 {
+	var v uint32
+	if s.err == nil {
+		s.err = binary.Read(s.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (s *stateReader) u8() uint8 {
+	var v uint8
+	if s.err == nil {
+		s.err = binary.Read(s.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (s *stateReader) intsList() []int {
+	n := int(s.u32())
+	if s.err != nil || n == 0 {
+		return nil
+	}
+	if n > 1<<26 {
+		s.err = fmt.Errorf("core: unreasonable list length %d", n)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(s.u32())
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"quickdrop/internal/eval"
+)
+
+func TestStateRoundTripPreservesModelAndSynthetic(t *testing.T) {
+	sys, test := trainedSystem(t, 30)
+	if _, err := sys.Unlearn(Request{Kind: ClassLevel, Class: 2}); err != nil {
+		t.Fatal(err)
+	}
+	accBefore := eval.Accuracy(sys.Model, test)
+
+	var buf bytes.Buffer
+	if err := sys.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh system with the same config and clients, restored.
+	restored, err := NewSystem(sys.Cfg, sys.Clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Model identical.
+	if acc := eval.Accuracy(restored.Model, test); acc != accBefore {
+		t.Fatalf("restored accuracy %.3f vs %.3f", acc, accBefore)
+	}
+	// Synthetic sets identical.
+	for i := range sys.Clients {
+		a, b := sys.Synthetic(i), restored.Synthetic(i)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("client %d synthetic presence mismatch", i)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("client %d synthetic size %d vs %d", i, a.Len(), b.Len())
+		}
+		for j := range a.X {
+			if a.Y[j] != b.Y[j] {
+				t.Fatal("label mismatch")
+			}
+			for k := range a.X[j].Data() {
+				if a.X[j].Data()[k] != b.X[j].Data()[k] {
+					t.Fatal("synthetic pixel mismatch")
+				}
+			}
+		}
+	}
+	// Forget ledger preserved: class 2 already unlearned.
+	if _, err := restored.Unlearn(Request{Kind: ClassLevel, Class: 2}); err == nil {
+		t.Fatal("restored system must remember class 2 was unlearned")
+	}
+	// And the restored system can serve new requests.
+	if _, err := restored.Unlearn(Request{Kind: ClassLevel, Class: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Including relearning the originally erased class.
+	if _, err := restored.Relearn(Request{Kind: ClassLevel, Class: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateRoundTripSampleLevel(t *testing.T) {
+	sys, _ := sampleSystem(t, 31)
+	req := Request{Kind: SampleLevel, Client: 0, Samples: []int{0, 1}}
+	if _, err := sys.Unlearn(req); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewSystem(sys.Cfg, sys.Clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The removed-sample and removed-group ledgers survive.
+	if len(restored.RemovedSampleSet(0)) != len(sys.RemovedSampleSet(0)) {
+		t.Fatal("removed samples lost")
+	}
+	if len(restored.removedGroups[0]) != len(sys.removedGroups[0]) {
+		t.Fatal("removed groups lost")
+	}
+	// Relearning the samples works on the restored system.
+	if _, err := restored.Relearn(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveStateErrors(t *testing.T) {
+	clients, _ := testClients(t, 2, 4, 32)
+	sys, err := NewSystem(DefaultConfig(testArch()), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveState(&buf); err == nil {
+		t.Fatal("SaveState before Train must fail")
+	}
+}
+
+func TestLoadStateErrors(t *testing.T) {
+	sys, _ := trainedSystem(t, 33)
+	var buf bytes.Buffer
+	if err := sys.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into a trained system fails.
+	if err := sys.LoadState(&buf); err == nil {
+		t.Fatal("LoadState on trained system must fail")
+	}
+	// Garbage fails cleanly.
+	fresh, err := NewSystem(sys.Cfg, sys.Clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(bytes.NewReader([]byte{9, 9, 9, 9})); err == nil {
+		t.Fatal("expected bad magic error")
+	}
+	// Client-count mismatch fails.
+	var buf2 bytes.Buffer
+	sys2, _ := trainedSystem(t, 34)
+	if err := sys2.SaveState(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := NewSystem(sys.Cfg, sys.Clients[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smaller.LoadState(&buf2); err == nil {
+		t.Fatal("expected client-count mismatch error")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "sort"
+
+// Tracker records which classes, clients and individual samples are
+// currently unlearned. It is shared by the QuickDrop system and all
+// baselines so that sequential request streams and relearning behave
+// identically across methods.
+type Tracker struct {
+	classes map[int]bool
+	clients map[int]bool
+	// samples maps client → set of removed local sample indices.
+	samples map[int]map[int]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		classes: make(map[int]bool),
+		clients: make(map[int]bool),
+		samples: make(map[int]map[int]bool),
+	}
+}
+
+// IsRemoved reports whether the request's target is currently unlearned.
+// A sample-level request counts as removed when every requested sample is.
+func (t *Tracker) IsRemoved(req Request) bool {
+	switch req.Kind {
+	case ClassLevel:
+		return t.classes[req.Class]
+	case ClientLevel:
+		return t.clients[req.Client]
+	case SampleLevel:
+		if len(req.Samples) == 0 {
+			return false
+		}
+		set := t.samples[req.Client]
+		for _, s := range req.Samples {
+			if !set[s] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Mark sets or clears the removed state for a request's target.
+func (t *Tracker) Mark(req Request, removed bool) {
+	switch req.Kind {
+	case ClassLevel:
+		if removed {
+			t.classes[req.Class] = true
+		} else {
+			delete(t.classes, req.Class)
+		}
+	case ClientLevel:
+		if removed {
+			t.clients[req.Client] = true
+		} else {
+			delete(t.clients, req.Client)
+		}
+	case SampleLevel:
+		set := t.samples[req.Client]
+		if set == nil {
+			set = make(map[int]bool)
+			t.samples[req.Client] = set
+		}
+		for _, s := range req.Samples {
+			if removed {
+				set[s] = true
+			} else {
+				delete(set, s)
+			}
+		}
+	}
+}
+
+// RemovedSamples returns the set of removed sample indices for a client
+// (possibly nil). The map must not be mutated by callers.
+func (t *Tracker) RemovedSamples(client int) map[int]bool { return t.samples[client] }
+
+// ClassRemoved reports whether class c is unlearned.
+func (t *Tracker) ClassRemoved(c int) bool { return t.classes[c] }
+
+// ClientRemoved reports whether client i is unlearned.
+func (t *Tracker) ClientRemoved(i int) bool { return t.clients[i] }
+
+// RemovedClasses returns the sorted list of unlearned classes.
+func (t *Tracker) RemovedClasses() []int {
+	out := make([]int, 0, len(t.classes))
+	for c := range t.classes {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AnyRemovedClasses reports whether any class-level removal is active.
+func (t *Tracker) AnyRemovedClasses() bool { return len(t.classes) > 0 }

@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestTrackerClassLifecycle(t *testing.T) {
+	tr := NewTracker()
+	req := Request{Kind: ClassLevel, Class: 3}
+	if tr.IsRemoved(req) {
+		t.Fatal("fresh tracker must have nothing removed")
+	}
+	tr.Mark(req, true)
+	if !tr.IsRemoved(req) || !tr.ClassRemoved(3) || !tr.AnyRemovedClasses() {
+		t.Fatal("class removal not recorded")
+	}
+	if got := tr.RemovedClasses(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("RemovedClasses = %v", got)
+	}
+	tr.Mark(req, false)
+	if tr.IsRemoved(req) || tr.AnyRemovedClasses() {
+		t.Fatal("class removal not cleared")
+	}
+}
+
+func TestTrackerClientLifecycle(t *testing.T) {
+	tr := NewTracker()
+	req := Request{Kind: ClientLevel, Client: 2}
+	tr.Mark(req, true)
+	if !tr.ClientRemoved(2) || tr.ClientRemoved(1) {
+		t.Fatal("client removal wrong")
+	}
+	tr.Mark(req, false)
+	if tr.ClientRemoved(2) {
+		t.Fatal("client removal not cleared")
+	}
+}
+
+func TestTrackerSampleSemantics(t *testing.T) {
+	tr := NewTracker()
+	req := Request{Kind: SampleLevel, Client: 1, Samples: []int{4, 7}}
+	if tr.IsRemoved(req) {
+		t.Fatal("fresh tracker")
+	}
+	// Partial removal: the request is not considered removed until every
+	// sample is.
+	tr.Mark(Request{Kind: SampleLevel, Client: 1, Samples: []int{4}}, true)
+	if tr.IsRemoved(req) {
+		t.Fatal("partial removal must not count as removed")
+	}
+	tr.Mark(Request{Kind: SampleLevel, Client: 1, Samples: []int{7}}, true)
+	if !tr.IsRemoved(req) {
+		t.Fatal("full removal must count")
+	}
+	if got := tr.RemovedSamples(1); !got[4] || !got[7] || got[5] {
+		t.Fatalf("RemovedSamples = %v", got)
+	}
+	// Other clients are independent.
+	if tr.IsRemoved(Request{Kind: SampleLevel, Client: 0, Samples: []int{4}}) {
+		t.Fatal("client 0 must be unaffected")
+	}
+	tr.Mark(req, false)
+	if len(tr.RemovedSamples(1)) != 0 {
+		t.Fatal("sample removal not cleared")
+	}
+}
+
+func TestTrackerEmptySampleRequestNeverRemoved(t *testing.T) {
+	tr := NewTracker()
+	if tr.IsRemoved(Request{Kind: SampleLevel, Client: 0}) {
+		t.Fatal("empty sample request must not be 'removed'")
+	}
+}
+
+func TestTrackerSortedRemovedClasses(t *testing.T) {
+	tr := NewTracker()
+	for _, c := range []int{7, 1, 4} {
+		tr.Mark(Request{Kind: ClassLevel, Class: c}, true)
+	}
+	got := tr.RemovedClasses()
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 7 {
+		t.Fatalf("RemovedClasses = %v, want sorted", got)
+	}
+}
+
+func TestTrackerInvalidKindNoops(t *testing.T) {
+	tr := NewTracker()
+	tr.Mark(Request{}, true)
+	if tr.AnyRemovedClasses() || tr.IsRemoved(Request{}) {
+		t.Fatal("invalid kind must be a no-op")
+	}
+}

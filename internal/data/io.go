@@ -1,0 +1,94 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"quickdrop/internal/tensor"
+)
+
+// Binary dataset format (little endian):
+//
+//	uint32 magic "QDDS"
+//	uint32 H, W, C, Classes, N
+//	N × uint32 labels
+//	N × tensor (tensor.WriteTo format)
+const datasetMagic = 0x51444453 // "QDDS"
+
+// WriteTo serializes the dataset (synthetic sets are persisted this way
+// so unlearning capability survives process restarts).
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	writeU32 := func(v uint32) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += 4
+		return nil
+	}
+	for _, v := range []uint32{datasetMagic, uint32(d.H), uint32(d.W), uint32(d.C), uint32(d.Classes), uint32(d.Len())} {
+		if err := writeU32(v); err != nil {
+			return n, fmt.Errorf("data: write header: %w", err)
+		}
+	}
+	for _, y := range d.Y {
+		if err := writeU32(uint32(y)); err != nil {
+			return n, fmt.Errorf("data: write label: %w", err)
+		}
+	}
+	for i, x := range d.X {
+		k, err := x.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, fmt.Errorf("data: write sample %d: %w", i, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadDataset deserializes a dataset written by WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	mg, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("data: read magic: %w", err)
+	}
+	if mg != datasetMagic {
+		return nil, fmt.Errorf("data: bad magic %#x", mg)
+	}
+	var hdr [5]uint32
+	for i := range hdr {
+		if hdr[i], err = readU32(); err != nil {
+			return nil, fmt.Errorf("data: read header: %w", err)
+		}
+	}
+	h, w, c, classes, count := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if h < 1 || w < 1 || c < 1 || classes < 1 || count < 0 || count > 1<<26 {
+		return nil, fmt.Errorf("data: unreasonable header %v", hdr)
+	}
+	labels := make([]int, count)
+	for i := range labels {
+		y, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("data: read label %d: %w", i, err)
+		}
+		if int(y) >= classes {
+			return nil, fmt.Errorf("data: label %d out of range", y)
+		}
+		labels[i] = int(y)
+	}
+	ds := NewDataset(h, w, c, classes)
+	for i := 0; i < count; i++ {
+		x, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("data: read sample %d: %w", i, err)
+		}
+		ds.Append(x, labels[i])
+	}
+	return ds, nil
+}

@@ -1,0 +1,53 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDatasetSerializationRoundTrip(t *testing.T) {
+	spec := MNISTLike(8, 3)
+	ds, _ := Generate(spec, 1)
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.H != ds.H || got.W != ds.W || got.C != ds.C || got.Classes != ds.Classes {
+		t.Fatalf("geometry mismatch: %+v", got)
+	}
+	for i := range ds.X {
+		if got.Y[i] != ds.Y[i] {
+			t.Fatal("label mismatch")
+		}
+		for j := range ds.X[i].Data() {
+			if got.X[i].Data()[j] != ds.X[i].Data()[j] {
+				t.Fatal("pixel mismatch")
+			}
+		}
+	}
+}
+
+func TestReadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte{1, 2, 3, 4})); err == nil {
+		t.Fatal("expected error on short input")
+	}
+	if _, err := ReadDataset(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestReadDatasetTruncated(t *testing.T) {
+	ds := tinySet(t, 3)
+	var buf bytes.Buffer
+	if _, err := ds.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadDataset(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+}

@@ -1,0 +1,105 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quickdrop/internal/tensor"
+)
+
+// Transform maps one sample tensor to a new one (same shape).
+type Transform func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor
+
+// AddNoise returns a transform adding N(0, stddev²) noise per pixel.
+func AddNoise(stddev float64) Transform {
+	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
+		out := x.Clone()
+		d := out.Data()
+		for i := range d {
+			d[i] += rng.NormFloat64() * stddev
+		}
+		return out
+	}
+}
+
+// HorizontalFlip returns a transform mirroring H×W×C samples left-right
+// with probability p.
+func HorizontalFlip(p float64) Transform {
+	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
+		if rng.Float64() >= p {
+			return x.Clone()
+		}
+		sh := x.Shape()
+		if len(sh) != 3 {
+			panic(fmt.Sprintf("data: HorizontalFlip expects [H,W,C], got %v", sh))
+		}
+		h, w, c := sh[0], sh[1], sh[2]
+		out := tensor.New(h, w, c)
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				for ch := 0; ch < c; ch++ {
+					out.Set(x.At(y, w-1-xx, ch), y, xx, ch)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// RandomShift returns a transform translating samples by up to maxShift
+// pixels in each direction, zero-padding the exposed border.
+func RandomShift(maxShift int) Transform {
+	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
+		sh := x.Shape()
+		if len(sh) != 3 {
+			panic(fmt.Sprintf("data: RandomShift expects [H,W,C], got %v", sh))
+		}
+		dy := rng.Intn(2*maxShift+1) - maxShift
+		dx := rng.Intn(2*maxShift+1) - maxShift
+		h, w, c := sh[0], sh[1], sh[2]
+		out := tensor.New(h, w, c)
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for xx := 0; xx < w; xx++ {
+				sx := xx - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				for ch := 0; ch < c; ch++ {
+					out.Set(x.At(sy, sx, ch), y, xx, ch)
+				}
+			}
+		}
+		return out
+	}
+}
+
+// Compose chains transforms left to right.
+func Compose(ts ...Transform) Transform {
+	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
+		out := x
+		for _, t := range ts {
+			out = t(out, rng)
+		}
+		return out
+	}
+}
+
+// Augmented returns a new dataset containing, for every original sample,
+// `copies` transformed variants (plus the original).
+func Augmented(ds *Dataset, t Transform, copies int, rng *rand.Rand) *Dataset {
+	if copies < 0 {
+		panic("data: negative augmentation copies")
+	}
+	out := NewDataset(ds.H, ds.W, ds.C, ds.Classes)
+	for i, x := range ds.X {
+		out.Append(x, ds.Y[i])
+		for c := 0; c < copies; c++ {
+			out.Append(t(x, rng), ds.Y[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/tensor"
+)
+
+func TestAddNoiseChangesValuesKeepsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Ones(4, 4, 1)
+	y := AddNoise(0.5)(x, rng)
+	if !y.SameShape(x) {
+		t.Fatal("shape changed")
+	}
+	if y.Sub(x).Norm() == 0 {
+		t.Fatal("noise had no effect")
+	}
+	// Original untouched.
+	for _, v := range x.Data() {
+		if v != 1 {
+			t.Fatal("transform mutated input")
+		}
+	}
+}
+
+func TestHorizontalFlip(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2, 1)
+	always := HorizontalFlip(1)
+	y := always(x, rand.New(rand.NewSource(2)))
+	if y.At(0, 0, 0) != 2 || y.At(0, 1, 0) != 1 || y.At(1, 0, 0) != 4 {
+		t.Fatalf("flip = %v", y.Data())
+	}
+	// Double flip restores.
+	z := always(y, rand.New(rand.NewSource(3)))
+	for i := range x.Data() {
+		if z.Data()[i] != x.Data()[i] {
+			t.Fatal("double flip must restore")
+		}
+	}
+	never := HorizontalFlip(0)
+	w := never(x, rand.New(rand.NewSource(4)))
+	for i := range x.Data() {
+		if w.Data()[i] != x.Data()[i] {
+			t.Fatal("p=0 must never flip")
+		}
+	}
+}
+
+func TestRandomShiftPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(6, 6, 1)
+	x.Set(1, 3, 3, 0) // single bright pixel in the centre
+	y := RandomShift(1)(x, rng)
+	if math.Abs(y.Sum()-1) > 1e-12 {
+		t.Fatalf("centre pixel lost: sum %g", y.Sum())
+	}
+}
+
+func TestCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Ones(2, 2, 1)
+	y := Compose(AddNoise(0.1), AddNoise(0.1))(x, rng)
+	if y.SameShape(x) == false || y.Sub(x).Norm() == 0 {
+		t.Fatal("compose failed")
+	}
+}
+
+func TestAugmented(t *testing.T) {
+	ds := tinySet(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	aug := Augmented(ds, AddNoise(0.1), 2, rng)
+	if aug.Len() != 3*ds.Len() {
+		t.Fatalf("augmented len %d, want %d", aug.Len(), 3*ds.Len())
+	}
+	// Labels preserved in order groups of 3.
+	for i := 0; i < ds.Len(); i++ {
+		for c := 0; c < 3; c++ {
+			if aug.Y[i*3+c] != ds.Y[i] {
+				t.Fatal("label mismatch after augmentation")
+			}
+		}
+	}
+}
+
+func TestAugmentedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Augmented(tinySet(t, 2), AddNoise(0.1), -1, rand.New(rand.NewSource(8)))
+}
+
+func TestPartitionByShardsSkewAndConservation(t *testing.T) {
+	spec := MNISTLike(8, 30)
+	ds, _ := Generate(spec, 9)
+	rng := rand.New(rand.NewSource(10))
+	parts := PartitionByShards(ds, 10, 2, rng)
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+		// With 2 shards each, clients should see few classes.
+		classes := 0
+		for _, n := range p.ClassCounts() {
+			if n > 0 {
+				classes++
+			}
+		}
+		if classes > 4 {
+			t.Fatalf("shard client sees %d classes — not pathological", classes)
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("conservation violated: %d vs %d", total, ds.Len())
+	}
+	// Shard partitioning must be more skewed than IID.
+	iid := PartitionIID(ds, 10, rand.New(rand.NewSource(11)))
+	if HeterogeneityStat(parts) <= HeterogeneityStat(iid) {
+		t.Fatal("shards must be more heterogeneous than IID")
+	}
+}
+
+func TestPartitionByShardsValidation(t *testing.T) {
+	ds := tinySet(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PartitionByShards(ds, 10, 5, rand.New(rand.NewSource(12)))
+}
+
+func TestWithoutIndices(t *testing.T) {
+	ds := tinySet(t, 5)
+	out := ds.WithoutIndices(map[int]bool{1: true, 3: true})
+	if out.Len() != 3 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	if out.X[0] != ds.X[0] || out.X[1] != ds.X[2] || out.X[2] != ds.X[4] {
+		t.Fatal("wrong samples excluded")
+	}
+	if ds.WithoutIndices(nil) != ds {
+		t.Fatal("empty exclusion must return the receiver")
+	}
+}

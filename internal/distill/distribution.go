@@ -1,0 +1,43 @@
+package distill
+
+import (
+	ad "quickdrop/internal/autodiff"
+)
+
+// Objective selects how synthetic samples are optimized during in-situ
+// distillation.
+type Objective int
+
+const (
+	// GradientMatching is the paper's objective (Zhao et al. ICLR '21
+	// adapted for unlearning, §3.2.2): match per-class gradients between
+	// synthetic and real data. Requires second-order autodiff.
+	GradientMatching Objective = iota
+	// DistributionMatching is the cheaper first-order alternative from
+	// the paper's related work (Zhao & Bilen WACV '23): match the mean
+	// penultimate-layer embedding of synthetic and real samples.
+	DistributionMatching
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case GradientMatching:
+		return "gradient-matching"
+	case DistributionMatching:
+		return "distribution-matching"
+	default:
+		return "unknown-objective"
+	}
+}
+
+// distributionDistance computes ‖mean(embS) − mean(embD)‖² for embedding
+// matrices [B, F]; embD must be detached.
+func distributionDistance(embS, embD *ad.Value) *ad.Value {
+	bS := embS.Data.Dim(0)
+	bD := embD.Data.Dim(0)
+	meanS := ad.Scale(ad.SumAxes(embS, 0), 1/float64(bS)) // [1, F]
+	meanD := ad.Scale(ad.SumAxes(embD, 0), 1/float64(bD)) // [1, F]
+	diff := ad.Sub(meanS, meanD)
+	return ad.SumAll(ad.Mul(diff, diff))
+}

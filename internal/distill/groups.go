@@ -1,0 +1,99 @@
+package distill
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/tensor"
+)
+
+// GroupKey identifies one sub-class subset of a client's data. With
+// Groups=1 every class has a single group and QuickDrop behaves exactly
+// as in the paper; with Groups>1 each class is split into fixed random
+// subsets whose synthetic counterparts are distilled independently,
+// enabling sample-level unlearning at subset granularity — the extension
+// sketched in the paper's §5.1.
+type GroupKey struct {
+	Class int
+	Group int
+}
+
+// String implements fmt.Stringer.
+func (k GroupKey) String() string { return fmt.Sprintf("class %d/group %d", k.Class, k.Group) }
+
+// Grouping records, for one client, which real and synthetic sample
+// indices belong to each group.
+type Grouping struct {
+	// Real maps group → indices into the client's real dataset.
+	Real map[GroupKey][]int
+	// Syn maps group → indices into the client's synthetic dataset.
+	Syn map[GroupKey][]int
+}
+
+// Keys returns the grouping's keys in deterministic order.
+func (g *Grouping) Keys() []GroupKey {
+	keys := make([]GroupKey, 0, len(g.Real))
+	for k := range g.Real {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Class != keys[b].Class {
+			return keys[a].Class < keys[b].Class
+		}
+		return keys[a].Group < keys[b].Group
+	})
+	return keys
+}
+
+// GroupOf returns the group containing the client's real sample index, or
+// false if the index belongs to no group.
+func (g *Grouping) GroupOf(realIdx int) (GroupKey, bool) {
+	for k, idx := range g.Real {
+		for _, i := range idx {
+			if i == realIdx {
+				return k, true
+			}
+		}
+	}
+	return GroupKey{}, false
+}
+
+// buildGrouping splits every class of a client's dataset into `groups`
+// random fixed subsets and creates the per-group synthetic samples:
+// ⌈|subset|/s⌉ clones of random subset members (or noise with NoiseInit).
+func buildGrouping(client *data.Dataset, cfg Config, groups int, rng *rand.Rand) (*data.Dataset, *Grouping) {
+	if groups < 1 {
+		panic(fmt.Sprintf("distill: groups must be ≥ 1, got %d", groups))
+	}
+	syn := data.NewDataset(client.H, client.W, client.C, client.Classes)
+	grouping := &Grouping{Real: make(map[GroupKey][]int), Syn: make(map[GroupKey][]int)}
+	byClass := client.ByClass()
+	for _, class := range sortedKeys(byClass) {
+		idx := append([]int(nil), byClass[class]...)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		g := groups
+		if g > len(idx) {
+			g = len(idx) // at most one group per sample
+		}
+		for gi := 0; gi < g; gi++ {
+			lo := gi * len(idx) / g
+			hi := (gi + 1) * len(idx) / g
+			subset := idx[lo:hi]
+			key := GroupKey{Class: class, Group: gi}
+			grouping.Real[key] = append([]int(nil), subset...)
+			m := (len(subset) + int(cfg.Scale) - 1) / int(cfg.Scale)
+			perm := rng.Perm(len(subset))
+			for i := 0; i < m; i++ {
+				s := client.X[subset[perm[i]]].Clone()
+				if cfg.NoiseInit {
+					s = tensor.Randn(rng, 1, client.H, client.W, client.C)
+				}
+				grouping.Syn[key] = append(grouping.Syn[key], syn.Len())
+				syn.Append(s, class)
+			}
+		}
+	}
+	return syn, grouping
+}

@@ -1,0 +1,137 @@
+package distill
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quickdrop/internal/data"
+)
+
+func TestGroupingPartitionsEveryClass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		client := clientSet(t, 2+r.Intn(10), seed)
+		groups := 1 + r.Intn(4)
+		cfg := DefaultConfig()
+		cfg.Scale = float64(1 + r.Intn(5))
+		syn, grouping := buildGrouping(client, cfg, groups, r)
+
+		// Every real index appears in exactly one group.
+		seen := make(map[int]int)
+		for _, idx := range grouping.Real {
+			for _, i := range idx {
+				seen[i]++
+			}
+		}
+		if len(seen) != client.Len() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		// Every synthetic index appears in exactly one group and the
+		// union covers the synthetic set.
+		synSeen := make(map[int]int)
+		for key, idx := range grouping.Syn {
+			for _, i := range idx {
+				synSeen[i]++
+				if syn.Y[i] != key.Class {
+					return false // synthetic label must match group class
+				}
+			}
+		}
+		if len(synSeen) != syn.Len() {
+			return false
+		}
+		// Per-group sizing invariant ⌈n/s⌉.
+		for key, real := range grouping.Real {
+			want := (len(real) + int(cfg.Scale) - 1) / int(cfg.Scale)
+			if len(grouping.Syn[key]) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupingGroupOf(t *testing.T) {
+	client := clientSet(t, 6, 30)
+	cfg := DefaultConfig()
+	cfg.Scale = 3
+	_, grouping := buildGrouping(client, cfg, 2, rand.New(rand.NewSource(31)))
+	for i := 0; i < client.Len(); i++ {
+		key, ok := grouping.GroupOf(i)
+		if !ok {
+			t.Fatalf("sample %d in no group", i)
+		}
+		if key.Class != client.Y[i] {
+			t.Fatalf("sample %d (class %d) mapped to group of class %d", i, client.Y[i], key.Class)
+		}
+	}
+	if _, ok := grouping.GroupOf(client.Len() + 5); ok {
+		t.Fatal("out-of-range index must not resolve")
+	}
+}
+
+func TestGroupingKeysDeterministic(t *testing.T) {
+	client := clientSet(t, 6, 32)
+	cfg := DefaultConfig()
+	cfg.Scale = 3
+	_, g := buildGrouping(client, cfg, 2, rand.New(rand.NewSource(33)))
+	keys := g.Keys()
+	for i := 1; i < len(keys); i++ {
+		a, b := keys[i-1], keys[i]
+		if a.Class > b.Class || (a.Class == b.Class && a.Group >= b.Group) {
+			t.Fatalf("keys not ordered: %v", keys)
+		}
+	}
+	if keys[0].String() == "" {
+		t.Fatal("GroupKey must render")
+	}
+}
+
+func TestGroupsMoreThanSamples(t *testing.T) {
+	// Asking for more groups than samples per class must clamp gracefully.
+	client := clientSet(t, 2, 34) // 2 samples per class
+	cfg := DefaultConfig()
+	cfg.Scale = 1
+	syn, g := buildGrouping(client, cfg, 10, rand.New(rand.NewSource(35)))
+	if syn.Len() != client.Len() { // scale 1 ⇒ one synthetic per real
+		t.Fatalf("synthetic %d vs real %d", syn.Len(), client.Len())
+	}
+	for key, idx := range g.Real {
+		if len(idx) == 0 {
+			t.Fatalf("group %v is empty", key)
+		}
+	}
+}
+
+func TestMatcherWithGroupsStillReducesDistance(t *testing.T) {
+	client := clientSet(t, 10, 36)
+	cfg := DefaultConfig()
+	cfg.Scale = 5
+	cfg.LR = 0.5
+	cfg.Groups = 2
+	rng := rand.New(rand.NewSource(37))
+	matcher := NewMatcher(cfg, []*data.Dataset{client}, rng)
+	if matcher.Groupings[0] == nil {
+		t.Fatal("grouping missing")
+	}
+	if len(matcher.Groupings[0].Real) < 10 {
+		t.Fatalf("expected ≥10 groups (2 per class), got %d", len(matcher.Groupings[0].Real))
+	}
+}
+
+func TestConfigRejectsNegativeGroups(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Groups = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

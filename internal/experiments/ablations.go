@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/distill"
+)
+
+// AblationRow compares one design variant against the default pipeline.
+type AblationRow struct {
+	Variant      string
+	FSetAccuracy float64
+	RSetAccuracy float64
+}
+
+// runAblation executes the Table-2 single-class pipeline per variant,
+// averaging over sc.Repeats independent seeds, letting apply mutate the
+// configuration for each variant.
+func runAblation(sc Scale, variants []string, apply func(variant string, cfg *core.Config)) ([]AblationRow, error) {
+	req := core.Request{Kind: core.ClassLevel, Class: 9}
+	reps := sc.EffectiveRepeats()
+	var rows []AblationRow
+	for _, v := range variants {
+		var fSum, rSum float64
+		for rep := 0; rep < reps; rep++ {
+			s2 := sc
+			s2.Seed = sc.Seed + int64(rep)*1009
+			setup, err := NewSetup("cifarlike", 10, 0.1, s2)
+			if err != nil {
+				return nil, err
+			}
+			cfg := setup.CoreConfig()
+			apply(v, &cfg)
+			sys, err := core.NewSystem(cfg, setup.Clients)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys.Train(); err != nil {
+				return nil, err
+			}
+			if _, err := sys.Unlearn(req); err != nil {
+				return nil, err
+			}
+			f, r := setup.SplitAccuracy(sys.Model, req)
+			fSum += f
+			rSum += r
+		}
+		rows = append(rows, AblationRow{Variant: v, FSetAccuracy: fSum / float64(reps), RSetAccuracy: rSum / float64(reps)})
+	}
+	return rows, nil
+}
+
+// AblationDistance compares the grouped cosine matching distance against
+// plain squared L2 (DESIGN.md decision 2).
+func AblationDistance(sc Scale) ([]AblationRow, error) {
+	return runAblation(sc, []string{"cosine", "l2"}, func(v string, cfg *core.Config) {
+		if v == "l2" {
+			cfg.DistillDistance = distill.L2Distance
+		}
+	})
+}
+
+// AblationInit compares real-sample initialization of the synthetic data
+// against Gaussian noise (DESIGN.md decision 4; the paper found
+// real-sample init more effective, §4.1).
+func AblationInit(sc Scale) ([]AblationRow, error) {
+	return runAblation(sc, []string{"real-init", "noise-init"}, func(v string, cfg *core.Config) {
+		cfg.Distill.NoiseInit = v == "noise-init"
+	})
+}
+
+// AblationAugment compares recovery with and without the 1:1 original-
+// sample augmentation (paper §3.3.1; DESIGN.md decision 5).
+func AblationAugment(sc Scale) ([]AblationRow, error) {
+	return runAblation(sc, []string{"augment", "no-augment"}, func(v string, cfg *core.Config) {
+		cfg.Augment = v == "augment"
+	})
+}
+
+// AblationObjective compares the paper's second-order gradient matching
+// against the cheaper first-order distribution matching from its related
+// work (Zhao & Bilen '23).
+func AblationObjective(sc Scale) ([]AblationRow, error) {
+	return runAblation(sc, []string{"gradient-match", "distribution-match"}, func(v string, cfg *core.Config) {
+		if v == "distribution-match" {
+			cfg.Distill.Objective = distill.DistributionMatching
+		}
+	})
+}
+
+// PrintAblation renders ablation rows.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "ablation: %s\n%-12s | %8s %8s\n", title, "variant", "F-Set", "R-Set")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s | %7.2f%% %7.2f%%\n", r.Variant, 100*r.FSetAccuracy, 100*r.RSetAccuracy)
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/mia"
+	"quickdrop/internal/nn"
+)
+
+// ExtensionSampleRow reports sample-level unlearning (the paper's §5.1
+// future-work extension, implemented here via sub-class group
+// distillation) for one method.
+type ExtensionSampleRow struct {
+	Method string
+	// ForgottenAcc is accuracy on the erased samples (lower after
+	// unlearning is better, bounded by generalization).
+	ForgottenAcc float64
+	// TestAcc is the global test accuracy after unlearning.
+	TestAcc float64
+	// ForgottenMIA / RetainedMIA are attack member rates on the erased
+	// and retained samples of the target client.
+	ForgottenMIA float64
+	RetainedMIA  float64
+	Total        eval.Cost
+}
+
+// ExtensionSampleLevel erases a quarter of one client's samples with
+// QuickDrop (4 distillation groups per class), SGA-Or and Retrain-Or, and
+// audits the result with the membership-inference attack.
+func ExtensionSampleLevel(sc Scale) ([]ExtensionSampleRow, error) {
+	setup, err := NewSetup("cifarlike", 6, 0.1, sc)
+	if err != nil {
+		return nil, err
+	}
+	// Target the largest client so a quarter of its samples is non-empty
+	// even at tiny scales.
+	targetClient := 0
+	for i, c := range setup.Clients {
+		if c.Len() > setup.Clients[targetClient].Len() {
+			targetClient = i
+		}
+	}
+	clientData := setup.Clients[targetClient]
+	n := clientData.Len() / 4
+	if n < 1 {
+		n = 1
+	}
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = i
+	}
+	req := core.Request{Kind: core.SampleLevel, Client: targetClient, Samples: samples}
+
+	var rows []ExtensionSampleRow
+	for _, name := range []string{"Retrain-Or", "SGA-Or", "QuickDrop"} {
+		var (
+			model     *nn.Model
+			total     eval.Cost
+			forgotten *data.Dataset
+			retained  *data.Dataset
+		)
+		if name == "QuickDrop" {
+			cfg := setup.CoreConfig()
+			cfg.Distill.Groups = 4
+			sys, err := core.NewSystem(cfg, setup.Clients)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys.Train(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			rep, err := sys.Unlearn(req)
+			if err != nil {
+				return nil, err
+			}
+			total = rep.Total
+			total.WallTime = time.Since(start)
+			model = sys.Model
+			removed := sys.RemovedSampleSet(targetClient)
+			forgotten = clientData.Subset(setKeys(removed))
+			retained = clientData.WithoutIndices(removed)
+		} else {
+			m, err := setup.NewMethod(name)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Prepare(); err != nil {
+				return nil, err
+			}
+			res, err := m.Unlearn(req)
+			if err != nil {
+				return nil, err
+			}
+			total = res.Total
+			model = m.Model()
+			removed := make(map[int]bool, len(samples))
+			for _, s := range samples {
+				removed[s] = true
+			}
+			forgotten = clientData.Subset(samples)
+			retained = clientData.WithoutIndices(removed)
+		}
+
+		attack, err := mia.TrainThreshold(model, retained, setup.Test)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExtensionSampleRow{
+			Method:       name,
+			ForgottenAcc: eval.Accuracy(model, forgotten),
+			TestAcc:      eval.Accuracy(model, setup.Test),
+			ForgottenMIA: attack.MemberRate(model, forgotten),
+			RetainedMIA:  attack.MemberRate(model, retained),
+			Total:        total,
+		})
+	}
+	return rows, nil
+}
+
+func setKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintExtensionSample renders the sample-level comparison.
+func PrintExtensionSample(w io.Writer, rows []ExtensionSampleRow) {
+	fmt.Fprintf(w, "%-11s | %11s %9s | %10s %10s | %10s\n",
+		"Approach", "Forgot acc", "Test acc", "MIA forgot", "MIA retain", "Time")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s | %10.2f%% %8.2f%% | %9.2f%% %9.2f%% | %10s\n",
+			r.Method, 100*r.ForgottenAcc, 100*r.TestAcc,
+			100*r.ForgottenMIA, 100*r.RetainedMIA, r.Total.WallTime.Round(time.Millisecond))
+	}
+}

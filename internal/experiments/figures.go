@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/distill"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/mia"
+	"quickdrop/internal/nn"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Figure2Result traces per-class test accuracy through the unlearning
+// pipeline (paper Fig. 2): stage 0 is the trained model, stage 1 is after
+// the single unlearning round, and the remaining stages follow each
+// recovery round.
+type Figure2Result struct {
+	Target int
+	Stages []string
+	// Acc[stage][class] is the class-wise test accuracy.
+	Acc [][]float64
+}
+
+// Figure2 reproduces the class-wise accuracy trace when unlearning class 9
+// on the CIFAR-10 stand-in with 10 clients and α=0.1.
+func Figure2(sc Scale) (*Figure2Result, error) {
+	setup, err := NewSetup("cifarlike", 10, 0.1, sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := setup.CoreConfig()
+	cfg.Recover.Rounds = 0 // recovery is driven round-by-round below
+	sys, err := core.NewSystem(cfg, setup.Clients)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{Target: 9}
+	snapshot := func(stage string) {
+		acc, _ := eval.PerClassAccuracy(sys.Model, setup.Test)
+		res.Stages = append(res.Stages, stage)
+		res.Acc = append(res.Acc, acc)
+	}
+	if _, err := sys.Train(); err != nil {
+		return nil, err
+	}
+	snapshot("trained")
+	if _, err := sys.Unlearn(core.Request{Kind: core.ClassLevel, Class: res.Target}); err != nil {
+		return nil, err
+	}
+	snapshot("unlearn")
+	for r := 1; r <= 4; r++ {
+		if _, err := sys.Recover(1); err != nil {
+			return nil, err
+		}
+		snapshot(fmt.Sprintf("recover-%d", r))
+	}
+	return res, nil
+}
+
+// PrintFigure2 renders the accuracy trace, classes as rows.
+func PrintFigure2(w io.Writer, res *Figure2Result) {
+	fmt.Fprintf(w, "%-8s", "class")
+	for _, s := range res.Stages {
+		fmt.Fprintf(w, " %9s", s)
+	}
+	fmt.Fprintln(w)
+	for c := range res.Acc[0] {
+		marker := "  "
+		if c == res.Target {
+			marker = " *"
+		}
+		fmt.Fprintf(w, "%d%s      ", c, marker)
+		for s := range res.Stages {
+			fmt.Fprintf(w, " %8.1f%%", 100*res.Acc[s][c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure3Row reports membership-inference attack accuracy after
+// unlearning for one method (paper Fig. 3).
+type Figure3Row struct {
+	Method string
+	// FSetRate is how often the attack calls deleted samples "members"
+	// (lower = better unlearning).
+	FSetRate float64
+	// RSetRate is how often retained training samples are recognized as
+	// members (the model should still remember them).
+	RSetRate float64
+}
+
+// Figure3 runs the MIA against the unlearned models of all class-capable
+// methods on the Table 2 setup.
+func Figure3(sc Scale) ([]Figure3Row, error) {
+	setup, err := NewSetup("cifarlike", 10, 0.1, sc)
+	if err != nil {
+		return nil, err
+	}
+	req := core.Request{Kind: core.ClassLevel, Class: 9}
+	forgetData := setup.ForgetOriginal(req)
+	retainData := setup.RetainOriginal(req)
+	retainTest := setup.Test.WithoutClass(req.Class)
+
+	var rows []Figure3Row
+	for _, name := range []string{"Retrain-Or", "FedEraser", "SGA-Or", "FU-MP", "QuickDrop"} {
+		model, err := unlearnedModel(setup, name, req)
+		if err != nil {
+			return nil, err
+		}
+		attack, err := mia.TrainThreshold(model, retainData, retainTest)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure3Row{
+			Method:   name,
+			FSetRate: attack.MemberRate(model, forgetData),
+			RSetRate: attack.MemberRate(model, retainData),
+		})
+	}
+	return rows, nil
+}
+
+// unlearnedModel trains the named method on the setup, serves req, and
+// returns the resulting global model.
+func unlearnedModel(setup *Setup, name string, req core.Request) (*nn.Model, error) {
+	if name == "QuickDrop" {
+		sys, err := setup.NewQuickDrop()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(); err != nil {
+			return nil, err
+		}
+		if _, err := sys.Unlearn(req); err != nil {
+			return nil, err
+		}
+		return sys.Model, nil
+	}
+	m, err := setup.NewMethod(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Prepare(); err != nil {
+		return nil, err
+	}
+	if _, err := m.Unlearn(req); err != nil {
+		return nil, err
+	}
+	return m.Model(), nil
+}
+
+// PrintFigure3 renders the MIA rates.
+func PrintFigure3(w io.Writer, rows []Figure3Row) {
+	fmt.Fprintf(w, "%-11s | %10s %10s\n", "Approach", "MIA F-Set", "MIA R-Set")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-11s | %9.2f%% %9.2f%%\n", r.Method, 100*r.FSetRate, 100*r.RSetRate)
+	}
+}
+
+// Figure4Result traces per-class accuracy across a sequential stream of
+// class unlearning requests (paper Fig. 4).
+type Figure4Result struct {
+	Order  []int
+	Stages []string
+	Acc    [][]float64
+}
+
+// Figure4 sequentially unlearns all ten classes in the paper's order.
+func Figure4(sc Scale) (*Figure4Result, error) {
+	setup, err := NewSetup("cifarlike", 10, 0.1, sc)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := setup.NewQuickDrop()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Train(); err != nil {
+		return nil, err
+	}
+	res := &Figure4Result{Order: []int{5, 8, 0, 3, 2, 4, 7, 9, 1, 6}}
+	snapshot := func(stage string) {
+		acc, _ := eval.PerClassAccuracy(sys.Model, setup.Test)
+		res.Stages = append(res.Stages, stage)
+		res.Acc = append(res.Acc, acc)
+	}
+	snapshot("trained")
+	for _, class := range res.Order {
+		if _, err := sys.Unlearn(core.Request{Kind: core.ClassLevel, Class: class}); err != nil {
+			return nil, err
+		}
+		snapshot(fmt.Sprintf("drop-%d", class))
+	}
+	return res, nil
+}
+
+// PrintFigure4 renders the sequential-unlearning trace.
+func PrintFigure4(w io.Writer, res *Figure4Result) {
+	fmt.Fprintf(w, "unlearning order: %v\n%-8s", res.Order, "class")
+	for _, s := range res.Stages {
+		fmt.Fprintf(w, " %8s", s)
+	}
+	fmt.Fprintln(w)
+	for c := range res.Acc[0] {
+		fmt.Fprintf(w, "%-8d", c)
+		for s := range res.Stages {
+			fmt.Fprintf(w, " %7.1f%%", 100*res.Acc[s][c])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure5Row reports the effect of F fine-tuning steps (paper Fig. 5):
+// R-Set accuracy after recovery and the gradient budget split between FL
+// training and fine-tuning.
+type Figure5Row struct {
+	FineTuneSteps  int
+	RSetAccuracy   float64
+	TrainGradEvals int
+	FineTuneEvals  int
+}
+
+// Figure5 sweeps the number of fine-tuning steps on the Table 2 setup.
+// Steps are scaled down from the paper's 0–200 outer steps.
+func Figure5(sc Scale, steps []int) ([]Figure5Row, error) {
+	if len(steps) == 0 {
+		steps = []int{0, 1, 2, 4}
+	}
+	req := core.Request{Kind: core.ClassLevel, Class: 9}
+	var rows []Figure5Row
+	for _, f := range steps {
+		setup, err := NewSetup("cifarlike", 10, 0.1, sc)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := setup.NewQuickDrop()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(); err != nil {
+			return nil, err
+		}
+		trainEvals := sys.Counter.GradEvals
+
+		ftEvals := 0
+		if f > 0 {
+			ftCfg := distill.FineTuneConfig{
+				OuterSteps: f,
+				InnerSteps: sc.LocalSteps,
+				ModelLR:    0.05,
+				Arch:       setup.Arch,
+				Match:      sys.Cfg.Distill,
+			}
+			for id, syn := range sys.Matcher.Sets {
+				counter, err := distill.FineTune(syn, setup.Clients[id], ftCfg, newRng(sc.Seed+int64(f)))
+				if err != nil {
+					return nil, err
+				}
+				ftEvals += counter.GradEvals
+			}
+		}
+		if _, err := sys.Unlearn(req); err != nil {
+			return nil, err
+		}
+		_, r := setup.SplitAccuracy(sys.Model, req)
+		rows = append(rows, Figure5Row{
+			FineTuneSteps:  f,
+			RSetAccuracy:   r,
+			TrainGradEvals: trainEvals,
+			FineTuneEvals:  ftEvals,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure5 renders the fine-tuning sweep.
+func PrintFigure5(w io.Writer, rows []Figure5Row) {
+	fmt.Fprintf(w, "%-6s | %10s | %12s %12s\n", "F", "R-Set acc", "train grads", "ft grads")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d | %9.2f%% | %12d %12d\n", r.FineTuneSteps, 100*r.RSetAccuracy, r.TrainGradEvals, r.FineTuneEvals)
+	}
+}
+
+// Figure6Row reports the scale-parameter sweep (paper Fig. 6).
+type Figure6Row struct {
+	ScaleParam   float64
+	RSetAccuracy float64
+	FSetAccuracy float64
+	UnlearnTime  time.Duration
+	RecoverTime  time.Duration
+	SynSamples   int
+}
+
+// Figure6 sweeps the distillation scale parameter s on the Table 2 setup.
+func Figure6(sc Scale, scales []float64) ([]Figure6Row, error) {
+	if len(scales) == 0 {
+		scales = []float64{1, 2, 5, 20, 100}
+	}
+	req := core.Request{Kind: core.ClassLevel, Class: 9}
+	var rows []Figure6Row
+	for _, s := range scales {
+		setup, err := NewSetup("cifarlike", 10, 0.1, sc)
+		if err != nil {
+			return nil, err
+		}
+		cfg := setup.CoreConfig()
+		cfg.Distill.Scale = s
+		sys, err := core.NewSystem(cfg, setup.Clients)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Train(); err != nil {
+			return nil, err
+		}
+		syn := 0
+		for i := range setup.Clients {
+			if st := sys.Synthetic(i); st != nil {
+				syn += st.Len()
+			}
+		}
+		rep, err := sys.Unlearn(req)
+		if err != nil {
+			return nil, err
+		}
+		f, r := setup.SplitAccuracy(sys.Model, req)
+		rows = append(rows, Figure6Row{
+			ScaleParam:   s,
+			RSetAccuracy: r,
+			FSetAccuracy: f,
+			UnlearnTime:  rep.Unlearn.WallTime,
+			RecoverTime:  rep.Recover.WallTime,
+			SynSamples:   syn,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigure6 renders the scale sweep.
+func PrintFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintf(w, "%-7s | %9s %9s | %11s %11s | %9s\n", "s", "F-Set", "R-Set", "unlearn", "recover", "syn size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7.0f | %8.2f%% %8.2f%% | %11s %11s | %9d\n",
+			r.ScaleParam, 100*r.FSetAccuracy, 100*r.RSetAccuracy,
+			r.UnlearnTime.Round(time.Millisecond), r.RecoverTime.Round(time.Millisecond), r.SynSamples)
+	}
+}

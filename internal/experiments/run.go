@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// IDs lists every experiment in execution order: the paper's tables and
+// figures, the design-choice ablations, and the sample-level extension.
+func IDs() []string {
+	return []string{
+		"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"table3", "table4", "table5", "table6",
+		"ablation-distance", "ablation-init", "ablation-augment",
+		"ablation-objective", "ext-sample",
+	}
+}
+
+// Run executes one experiment by id at the given scale, writing
+// paper-style rows to w.
+func Run(id string, sc Scale, w io.Writer) error {
+	switch id {
+	case "table1":
+		PrintTable1(w, Table1())
+	case "table2":
+		rows, err := Table2(sc)
+		if err != nil {
+			return err
+		}
+		PrintMethodRows(w, rows)
+	case "table3":
+		rows, clients, err := Table3(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "clients: %d (10%% participation in training/recovery)\n", clients)
+		PrintMethodRows(w, rows)
+	case "table4":
+		nonIID, iid, err := Table4(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "non-IID (alpha=0.1):")
+		PrintMethodRows(w, nonIID)
+		fmt.Fprintln(w, "IID:")
+		PrintMethodRows(w, iid)
+	case "table5":
+		cifar, mnist, err := Table5(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "cifarlike (20 clients, alpha=0.1):")
+		PrintRelearnRows(w, cifar)
+		fmt.Fprintln(w, "mnistlike (20 clients, alpha=0.1):")
+		PrintRelearnRows(w, mnist)
+	case "table6":
+		rows, err := Table6(sc)
+		if err != nil {
+			return err
+		}
+		PrintTable6(w, rows)
+	case "fig2":
+		res, err := Figure2(sc)
+		if err != nil {
+			return err
+		}
+		PrintFigure2(w, res)
+	case "fig3":
+		rows, err := Figure3(sc)
+		if err != nil {
+			return err
+		}
+		PrintFigure3(w, rows)
+	case "fig4":
+		res, err := Figure4(sc)
+		if err != nil {
+			return err
+		}
+		PrintFigure4(w, res)
+	case "fig5":
+		rows, err := Figure5(sc, nil)
+		if err != nil {
+			return err
+		}
+		PrintFigure5(w, rows)
+	case "fig6":
+		rows, err := Figure6(sc, nil)
+		if err != nil {
+			return err
+		}
+		PrintFigure6(w, rows)
+	case "ablation-distance":
+		rows, err := AblationDistance(sc)
+		if err != nil {
+			return err
+		}
+		PrintAblation(w, "matching distance (cosine vs L2)", rows)
+	case "ablation-init":
+		rows, err := AblationInit(sc)
+		if err != nil {
+			return err
+		}
+		PrintAblation(w, "synthetic init (real vs noise)", rows)
+	case "ablation-augment":
+		rows, err := AblationAugment(sc)
+		if err != nil {
+			return err
+		}
+		PrintAblation(w, "recovery augmentation", rows)
+	case "ablation-objective":
+		rows, err := AblationObjective(sc)
+		if err != nil {
+			return err
+		}
+		PrintAblation(w, "distillation objective (gradient vs distribution matching)", rows)
+	case "ext-sample":
+		rows, err := ExtensionSampleLevel(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "sample-level unlearning (extension, paper §5.1; 25% of one client's samples):")
+		PrintExtensionSample(w, rows)
+	default:
+		return fmt.Errorf("experiments: unknown experiment id %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/tensor"
+)
+
+// ModelFactory builds a fresh model with the training architecture.
+// Concurrent clients each own a private instance; parameters are
+// exchanged by value, as in a real deployment.
+type ModelFactory func() *nn.Model
+
+// clientUpdate is the message a client sends back to the server after
+// finishing its local steps for a round.
+type clientUpdate struct {
+	clientID int
+	round    int
+	params   []*tensor.Tensor
+	weight   float64
+	samples  int
+	err      error
+}
+
+// roundOrder is the broadcast from server to a client worker.
+type roundOrder struct {
+	round  int
+	global []*tensor.Tensor
+}
+
+// RunPhaseConcurrent executes the same FedAvg phase as RunPhase but with
+// one goroutine per client exchanging messages with the server over
+// channels — the shape of a real parameter-server deployment. Updates are
+// aggregated in client-ID order, so with full participation and no hook
+// the result is bit-for-bit identical to the sequential RunPhase.
+//
+// cfg.Hook and cfg.UpdateHook must be nil or safe for concurrent use;
+// cfg.WeightFn and cfg.DropoutProb are honoured. ctx cancels mid-phase.
+func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFactory,
+	clients []*data.Dataset, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PhaseResult{}, err
+	}
+	if factory == nil {
+		return PhaseResult{}, fmt.Errorf("fl: RunPhaseConcurrent needs a model factory")
+	}
+	eligible := make([]int, 0, len(clients))
+	for i, c := range clients {
+		if c != nil && c.Len() > 0 {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return PhaseResult{}, fmt.Errorf("fl: no client has data for this phase")
+	}
+
+	res := PhaseResult{Rounds: cfg.Rounds}
+	start := time.Now()
+
+	// Mirror RunPhase's RNG layout exactly so trajectories coincide.
+	clientRngs := make([]*rand.Rand, len(clients))
+	for i := range clients {
+		clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	// One long-lived worker per client: local model owned by the
+	// goroutine, orders in, updates out. Channels are buffered size 1
+	// (one outstanding round per client).
+	orders := make([]chan roundOrder, len(clients))
+	updates := make(chan clientUpdate, len(clients))
+	workerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, ci := range eligible {
+		orders[ci] = make(chan roundOrder, 1)
+		go clientWorker(workerCtx, ci, factory, clients[ci], cfg, clientRngs[ci], orders[ci], updates)
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := selectClients(eligible, cfg.Participation, rng)
+		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
+		global := model.CloneParams()
+		for _, ci := range selected {
+			select {
+			case orders[ci] <- roundOrder{round: round, global: cloneAll(global)}:
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+		}
+
+		received := make([]clientUpdate, 0, len(selected))
+		for range selected {
+			select {
+			case u := <-updates:
+				if u.err != nil {
+					return res, fmt.Errorf("fl: client %d round %d: %w", u.clientID, u.round, u.err)
+				}
+				received = append(received, u)
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+		}
+		// Deterministic aggregation order regardless of arrival order.
+		sort.Slice(received, func(a, b int) bool { return received[a].clientID < received[b].clientID })
+
+		agg := zerosLike(global)
+		totalWeight := 0.0
+		for _, u := range received {
+			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
+				res.Dropped++
+				continue
+			}
+			w := u.weight
+			if cfg.WeightFn != nil {
+				w = cfg.WeightFn(u.clientID, u.samples)
+			}
+			if w <= 0 {
+				continue
+			}
+			totalWeight += w
+			res.SamplesUsed += u.samples
+			for j := range agg {
+				agg[j].AxpyInPlace(w, u.params[j])
+			}
+		}
+		if totalWeight == 0 {
+			if cfg.DropoutProb > 0 {
+				continue
+			}
+			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
+		}
+		for _, t := range agg {
+			t.ScaleInPlace(1 / totalWeight)
+		}
+		model.SetParams(agg)
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// clientWorker owns one client's private model and serves round orders
+// until the context is cancelled.
+func clientWorker(ctx context.Context, clientID int, factory ModelFactory, ds *data.Dataset,
+	cfg PhaseConfig, rng *rand.Rand, orders <-chan roundOrder, updates chan<- clientUpdate) {
+	local := factory()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case order := <-orders:
+			u := clientUpdate{clientID: clientID, round: order.round,
+				weight: float64(ds.Len()), samples: ds.Len()}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						u.err = fmt.Errorf("client panic: %v", r)
+					}
+				}()
+				local.SetParams(order.global)
+				runLocalSteps(local, ds, cfg, order.round, clientID, rng)
+				u.params = local.CloneParams()
+			}()
+			select {
+			case updates <- u:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package fl
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/nn"
+)
+
+func testFactory() (ModelFactory, *nn.Model) {
+	cfg := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2}
+	factory := func() *nn.Model { return nn.NewConvNet(cfg, rand.New(rand.NewSource(99))) }
+	return factory, nn.NewConvNet(cfg, rand.New(rand.NewSource(3)))
+}
+
+func TestConcurrentMatchesSequentialExactly(t *testing.T) {
+	_, parts, _ := testSetup(t, 3, 0)
+	factory, seqModel := testFactory()
+	conModel := factory() // distinct instance…
+	conModel.SetParams(seqModel.CloneParams())
+
+	cfg := PhaseConfig{Rounds: 4, LocalSteps: 3, BatchSize: 8, LR: 0.05}
+	if _, err := RunPhase(seqModel, parts, cfg, rand.New(rand.NewSource(70))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPhaseConcurrent(context.Background(), conModel, factory, parts, cfg,
+		rand.New(rand.NewSource(70))); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := seqModel.ParamTensors(), conModel.ParamTensors()
+	for i := range p1 {
+		for j := range p1[i].Data() {
+			if p1[i].Data()[j] != p2[i].Data()[j] {
+				t.Fatalf("param %d elem %d differs: %g vs %g", i, j, p1[i].Data()[j], p2[i].Data()[j])
+			}
+		}
+	}
+}
+
+func TestConcurrentLearns(t *testing.T) {
+	_, parts, test := testSetup(t, 4, 0)
+	factory, model := testFactory()
+	if _, err := RunPhaseConcurrent(context.Background(), model, factory, parts, PhaseConfig{
+		Rounds: 12, LocalSteps: 5, BatchSize: 16, LR: 0.1,
+	}, rand.New(rand.NewSource(71))); err != nil {
+		t.Fatal(err)
+	}
+	if acc := eval.Accuracy(model, test); acc < 0.65 {
+		t.Fatalf("concurrent training accuracy %.2f", acc)
+	}
+}
+
+func TestConcurrentCancellation(t *testing.T) {
+	_, parts, _ := testSetup(t, 2, 0)
+	factory, model := testFactory()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunPhaseConcurrent(ctx, model, factory, parts, PhaseConfig{
+		Rounds: 10000, LocalSteps: 5, BatchSize: 16, LR: 0.1,
+	}, rand.New(rand.NewSource(72)))
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	_, parts, _ := testSetup(t, 2, 0)
+	_, model := testFactory()
+	if _, err := RunPhaseConcurrent(context.Background(), model, nil, parts,
+		PhaseConfig{Rounds: 1, LocalSteps: 1, BatchSize: 4, LR: 0.1},
+		rand.New(rand.NewSource(73))); err == nil {
+		t.Fatal("expected error for missing factory")
+	}
+	factory, _ := testFactory()
+	empty := []*data.Dataset{nil}
+	if _, err := RunPhaseConcurrent(context.Background(), model, factory, empty,
+		PhaseConfig{Rounds: 1, LocalSteps: 1, BatchSize: 4, LR: 0.1},
+		rand.New(rand.NewSource(74))); err == nil {
+		t.Fatal("expected error for no data")
+	}
+}
+
+func TestConcurrentPartialParticipation(t *testing.T) {
+	_, parts, _ := testSetup(t, 6, 0)
+	factory, model := testFactory()
+	res, err := RunPhaseConcurrent(context.Background(), model, factory, parts, PhaseConfig{
+		Rounds: 3, LocalSteps: 1, BatchSize: 8, LR: 0.05, Participation: 0.5,
+	}, rand.New(rand.NewSource(75)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.ClientsPerRnd {
+		if n != 3 {
+			t.Fatalf("participation wrong: %v", res.ClientsPerRnd)
+		}
+	}
+}

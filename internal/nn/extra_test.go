@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/tensor"
+)
+
+func TestMaxPoolKnown(t *testing.T) {
+	g := tensor.ConvGeom{Kernel: 2, Stride: 2, Pad: 0, InH: 2, InW: 2, Channel: 1}
+	p := NewMaxPool(g)
+	x := ad.Const(tensor.FromSlice([]float64{1, 7, 3, 4}, 1, 2, 2, 1))
+	y := p.Forward(x, nil).Data
+	if y.Len() != 1 || y.Data()[0] != 7 {
+		t.Fatalf("maxpool = %v", y.Data())
+	}
+}
+
+func TestMaxPoolPerChannel(t *testing.T) {
+	// Two channels with different maxima must pool independently.
+	g := tensor.ConvGeom{Kernel: 2, Stride: 2, Pad: 0, InH: 2, InW: 2, Channel: 2}
+	p := NewMaxPool(g)
+	x := ad.Const(tensor.FromSlice([]float64{
+		1, 40, 2, 30,
+		3, 20, 4, 10,
+	}, 1, 2, 2, 2))
+	y := p.Forward(x, nil).Data
+	if y.Data()[0] != 4 || y.Data()[1] != 40 {
+		t.Fatalf("maxpool = %v", y.Data())
+	}
+}
+
+func TestMaxPoolGradientRoutesToWinner(t *testing.T) {
+	g := tensor.ConvGeom{Kernel: 2, Stride: 2, Pad: 0, InH: 2, InW: 2, Channel: 1}
+	p := NewMaxPool(g)
+	xt := tensor.FromSlice([]float64{1, 7, 3, 4}, 1, 2, 2, 1)
+	x := ad.Var(xt)
+	y := ad.SumAll(p.Forward(x, nil))
+	grad := ad.MustGrad(y, []*ad.Value{x})[0].Data
+	want := []float64{0, 1, 0, 0}
+	for i, w := range want {
+		if grad.Data()[i] != w {
+			t.Fatalf("grad = %v, want %v", grad.Data(), want)
+		}
+	}
+}
+
+func TestActivationKinds(t *testing.T) {
+	x := ad.Const(tensor.FromSlice([]float64{-1, 0, 2}, 1, 3))
+	relu := Activation{Kind: "relu"}.Forward(x, nil).Data
+	if relu.Data()[0] != 0 || relu.Data()[2] != 2 {
+		t.Fatalf("relu = %v", relu.Data())
+	}
+	sig := Activation{Kind: "sigmoid"}.Forward(x, nil).Data
+	if math.Abs(sig.Data()[1]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid = %v", sig.Data())
+	}
+	tanh := Activation{Kind: "tanh"}.Forward(x, nil).Data
+	if math.Abs(tanh.Data()[1]) > 1e-12 {
+		t.Fatalf("tanh = %v", tanh.Data())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown activation must panic")
+		}
+	}()
+	Activation{Kind: "gelu"}.Forward(x, nil)
+}
+
+func TestMLPLearnsXORishTask(t *testing.T) {
+	// A linear model cannot separate XOR; a 1-hidden-layer MLP can.
+	rng := rand.New(rand.NewSource(50))
+	m := NewMLP(MLPConfig{InputShape: []int{1, 2, 1}, Hidden: []int{8}, Classes: 2}, rng)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []int{0, 1, 1, 0}
+	batch := tensor.New(4, 1, 2, 1)
+	for i, x := range xs {
+		batch.Set(x[0], i, 0, 0, 0)
+		batch.Set(x[1], i, 0, 1, 0)
+	}
+	oh := OneHot(ys, 2)
+	for step := 0; step < 800; step++ {
+		bound := m.Bind()
+		loss := CrossEntropy(bound.Forward(ad.Const(batch)), oh)
+		grads := ad.MustGrad(loss, bound.ParamVars())
+		for i, p := range m.ParamTensors() {
+			p.AxpyInPlace(-0.5, grads[i].Data)
+		}
+	}
+	if acc := Accuracy(m.Logits(batch), ys); acc != 1 {
+		t.Fatalf("MLP failed XOR: accuracy %.2f", acc)
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP(MLPConfig{Classes: 1}, rand.New(rand.NewSource(1)))
+}
+
+func TestL2Penalty(t *testing.T) {
+	p := ad.Var(tensor.FromSlice([]float64{3, 4}, 2))
+	pen := L2Penalty([]*ad.Value{p}, 0.1)
+	if math.Abs(pen.Item()-2.5) > 1e-12 { // 0.1 * 25
+		t.Fatalf("penalty = %g", pen.Item())
+	}
+	g := ad.MustGrad(pen, []*ad.Value{p})[0].Data
+	if math.Abs(g.Data()[0]-0.6) > 1e-12 { // 0.1 * 2 * 3
+		t.Fatalf("grad = %v", g.Data())
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float64{
+		5, 4, 0, // true 1 → top-1 miss, top-2 hit
+		9, 0, 1, // true 0 → top-1 hit
+	}, 2, 3)
+	labels := []int{1, 0}
+	if got := TopKAccuracy(logits, labels, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("top-1 = %g", got)
+	}
+	if got := TopKAccuracy(logits, labels, 2); got != 1 {
+		t.Fatalf("top-2 = %g", got)
+	}
+	if got := TopKAccuracy(logits, labels, 99); got != 1 {
+		t.Fatalf("top-k clamp = %g", got)
+	}
+	if TopKAccuracy(logits, nil, 1) != 0 {
+		t.Fatal("empty labels must give 0")
+	}
+}
+
+func TestConvNetWithMaxPoolVariant(t *testing.T) {
+	// A hand-assembled conv → relu → maxpool → dense stack must produce
+	// valid logits and gradients.
+	rng := rand.New(rand.NewSource(51))
+	conv := NewConv2D("c", rng, tensor.ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 4, InW: 4, Channel: 1}, 4)
+	pool := NewMaxPool(tensor.ConvGeom{Kernel: 2, Stride: 2, Pad: 0, InH: 4, InW: 4, Channel: 4})
+	m := NewModel([]int{4, 4, 1}, 3,
+		conv, Activation{Kind: "relu"}, pool, Flatten{}, NewDense("d", rng, 2*2*4, 3))
+	x := tensor.Randn(rng, 1, 2, 4, 4, 1)
+	logits := m.Logits(x)
+	if logits.Dim(0) != 2 || logits.Dim(1) != 3 {
+		t.Fatalf("logits %v", logits.Shape())
+	}
+	bound := m.Bind()
+	loss := CrossEntropy(bound.Forward(ad.Const(x)), OneHot([]int{0, 2}, 3))
+	grads := ad.MustGrad(loss, bound.ParamVars())
+	if len(grads) != len(m.Params()) {
+		t.Fatal("gradient count mismatch")
+	}
+}
+
+func TestInstanceNormGradientNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := NewInstanceNorm("n", 2)
+	x := tensor.Randn(rng, 1, 1, 3, 3, 2)
+	gamma := tensor.Randn(rng, 0.5, 2).Apply(func(v float64) float64 { return v + 1 })
+	beta := tensor.Randn(rng, 0.5, 2)
+	err := ad.CheckGradient(func(xs []*ad.Value) *ad.Value {
+		y := n.Forward(xs[0], []*ad.Value{xs[1], xs[2]})
+		return ad.SumAll(ad.Mul(y, y))
+	}, []*tensor.Tensor{x, gamma, beta}, 1e-5, 5e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceNormShapeValidation(t *testing.T) {
+	n := NewInstanceNorm("n", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on channel mismatch")
+		}
+	}()
+	ps := []*ad.Value{ad.Const(tensor.Ones(4)), ad.Const(tensor.New(4))}
+	n.Forward(ad.Const(tensor.New(1, 2, 2, 3)), ps)
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution on NHWC feature maps, implemented as
+// im2col followed by a matrix multiply so every derivative — including the
+// second-order ones used by gradient matching — reduces to verified linear
+// primitives.
+type Conv2D struct {
+	Geom    tensor.ConvGeom
+	Filters int
+	weight  *Param // [K*K*C, F]
+	bias    *Param // [F]
+}
+
+// NewConv2D creates a convolution for the given geometry and filter count.
+func NewConv2D(name string, rng *rand.Rand, g tensor.ConvGeom, filters int) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	fanIn := g.Kernel * g.Kernel * g.Channel
+	return &Conv2D{
+		Geom:    g,
+		Filters: filters,
+		weight:  &Param{Name: name + ".weight", Data: heInit(rng, fanIn, fanIn, filters)},
+		bias:    &Param{Name: name + ".bias", Data: tensor.New(filters)},
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// Forward implements Layer. x has shape [B, H, W, C]; the output has shape
+// [B, OH, OW, F].
+func (c *Conv2D) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
+	b := x.Data.Dim(0)
+	cols := ad.Im2col(x, c.Geom) // [B*OH*OW, K*K*C]
+	y := ad.MatMul(cols, ps[0])  // [B*OH*OW, F]
+	rows := y.Data.Dim(0)
+	bias := ad.BroadcastTo(ad.Reshape(ps[1], 1, c.Filters), rows, c.Filters)
+	y = ad.Add(y, bias)
+	return ad.Reshape(y, b, c.Geom.OutH(), c.Geom.OutW(), c.Filters)
+}
+
+// InstanceNorm normalizes each channel of each sample over its spatial
+// extent, with optional learned scale and shift, as in the paper's ConvNet.
+type InstanceNorm struct {
+	Channels int
+	Eps      float64
+	gamma    *Param // [C]
+	beta     *Param // [C]
+}
+
+// NewInstanceNorm creates an affine instance-normalization layer.
+func NewInstanceNorm(name string, channels int) *InstanceNorm {
+	return &InstanceNorm{
+		Channels: channels,
+		Eps:      1e-5,
+		gamma:    &Param{Name: name + ".gamma", Data: tensor.Ones(channels)},
+		beta:     &Param{Name: name + ".beta", Data: tensor.New(channels)},
+	}
+}
+
+// Name implements Layer.
+func (n *InstanceNorm) Name() string { return "instancenorm" }
+
+// Params implements Layer.
+func (n *InstanceNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }
+
+// Forward implements Layer. x has shape [B, H, W, C].
+func (n *InstanceNorm) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
+	sh := x.Data.Shape()
+	if len(sh) != 4 || sh[3] != n.Channels {
+		panic(fmt.Sprintf("nn: InstanceNorm expects [B,H,W,%d], got %v", n.Channels, sh))
+	}
+	area := float64(sh[1] * sh[2])
+	mean := ad.Scale(ad.SumAxes(x, 1, 2), 1/area)      // [B,1,1,C]
+	centered := ad.Sub(x, ad.BroadcastTo(mean, sh...)) // [B,H,W,C]
+	variance := ad.Scale(ad.SumAxes(ad.Mul(centered, centered), 1, 2), 1/area)
+	inv := ad.PowConst(ad.AddConst(variance, n.Eps), -0.5) // [B,1,1,C]
+	xhat := ad.Mul(centered, ad.BroadcastTo(inv, sh...))
+	gamma := ad.BroadcastTo(ad.Reshape(ps[0], 1, 1, 1, n.Channels), sh...)
+	beta := ad.BroadcastTo(ad.Reshape(ps[1], 1, 1, 1, n.Channels), sh...)
+	return ad.Add(ad.Mul(xhat, gamma), beta)
+}
+
+// ReLULayer applies the rectifier elementwise.
+type ReLULayer struct{}
+
+// Name implements Layer.
+func (ReLULayer) Name() string { return "relu" }
+
+// Params implements Layer.
+func (ReLULayer) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (ReLULayer) Forward(x *ad.Value, _ []*ad.Value) *ad.Value { return ad.ReLU(x) }
+
+// AvgPool downsamples NHWC maps by averaging over Kernel×Kernel windows.
+// It is composed from im2col + reduction, so its gradient (and gradient of
+// gradient) come for free from the linear primitives.
+type AvgPool struct {
+	Geom tensor.ConvGeom
+}
+
+// NewAvgPool creates a pooling layer for the given input geometry; Kernel
+// and Stride come from g.
+func NewAvgPool(g tensor.ConvGeom) *AvgPool {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &AvgPool{Geom: g}
+}
+
+// Name implements Layer.
+func (p *AvgPool) Name() string { return "avgpool" }
+
+// Params implements Layer.
+func (p *AvgPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool) Forward(x *ad.Value, _ []*ad.Value) *ad.Value {
+	b := x.Data.Dim(0)
+	g := p.Geom
+	k2 := g.Kernel * g.Kernel
+	cols := ad.Im2col(x, g) // [B*OH*OW, K*K*C]
+	rows := cols.Data.Dim(0)
+	grouped := ad.Reshape(cols, rows, k2, g.Channel)       // window-major rows
+	avg := ad.Scale(ad.SumAxes(grouped, 1), 1/float64(k2)) // [rows,1,C]
+	return ad.Reshape(avg, b, g.OutH(), g.OutW(), g.Channel)
+}
+
+// Flatten reshapes [B, H, W, C] (or any rank ≥ 2) to [B, rest].
+type Flatten struct{}
+
+// Name implements Layer.
+func (Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (Flatten) Forward(x *ad.Value, _ []*ad.Value) *ad.Value {
+	sh := x.Data.Shape()
+	rest := 1
+	for _, d := range sh[1:] {
+		rest *= d
+	}
+	return ad.Reshape(x, sh[0], rest)
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	weight  *Param // [In, Out]
+	bias    *Param // [Out]
+}
+
+// NewDense creates a dense layer with He initialization.
+func NewDense(name string, rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		In:     in,
+		Out:    out,
+		weight: &Param{Name: name + ".weight", Data: heInit(rng, in, in, out)},
+		bias:   &Param{Name: name + ".bias", Data: tensor.New(out)},
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// Forward implements Layer. x has shape [B, In].
+func (d *Dense) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
+	y := ad.MatMul(x, ps[0])
+	b := ad.BroadcastTo(ad.Reshape(ps[1], 1, d.Out), y.Data.Dim(0), d.Out)
+	return ad.Add(y, b)
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/tensor"
+)
+
+// OneHot encodes integer labels as a [B, classes] matrix.
+func OneHot(labels []int, classes int) *tensor.Tensor {
+	t := tensor.New(len(labels), classes)
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		t.Set(1, i, y)
+	}
+	return t
+}
+
+// CrossEntropy returns the mean softmax cross-entropy between logits
+// [B, C] and a one-hot target matrix of the same shape, as a scalar node.
+// The log-sum-exp is stabilized by subtracting the detached row-wise max.
+func CrossEntropy(logits *ad.Value, oneHot *tensor.Tensor) *ad.Value {
+	sh := logits.Data.Shape()
+	if len(sh) != 2 || !oneHot.SameShape(logits.Data) {
+		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs targets %v", sh, oneHot.Shape()))
+	}
+	b, c := sh[0], sh[1]
+
+	// Row-wise max as a constant: shifting by a constant leaves both the
+	// loss value and its gradients unchanged, so detaching is exact.
+	maxes := tensor.New(b, 1)
+	ld := logits.Data.Data()
+	for i := 0; i < b; i++ {
+		m := ld[i*c]
+		for j := 1; j < c; j++ {
+			if v := ld[i*c+j]; v > m {
+				m = v
+			}
+		}
+		maxes.Set(m, i, 0)
+	}
+	shifted := ad.Sub(logits, ad.BroadcastTo(ad.Const(maxes), b, c))
+
+	// lse_i = log Σ_j exp(z_ij), shape [B,1].
+	lse := ad.Log(ad.SumAxes(ad.Exp(shifted), 1))
+	// picked_i = Σ_j z_ij · onehot_ij, shape [B,1].
+	picked := ad.SumAxes(ad.Mul(shifted, ad.Const(oneHot)), 1)
+	perSample := ad.Sub(lse, picked)
+	return ad.Scale(ad.SumAll(perSample), 1/float64(b))
+}
+
+// Softmax returns row-wise softmax probabilities for a logits tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	sh := logits.Shape()
+	if len(sh) != 2 {
+		panic(fmt.Sprintf("nn: Softmax expects a matrix, got %v", sh))
+	}
+	b, c := sh[0], sh[1]
+	out := logits.Clone()
+	d := out.Data()
+	for i := 0; i < b; i++ {
+		row := d[i*c : (i+1)*c]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := expStable(v - m)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+func expStable(x float64) float64 {
+	// exp on already max-shifted values; guard against -inf underflow noise.
+	if x < -700 {
+		return 0
+	}
+	return math.Exp(x)
+}
+
+// Accuracy returns the fraction of samples whose argmax logit matches the
+// integer label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	pred := logits.ArgMaxRows()
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

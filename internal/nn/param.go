@@ -1,0 +1,231 @@
+// Package nn builds neural networks on top of the autodiff engine: layers,
+// the ConvNet architecture used throughout the QuickDrop paper
+// ([W, InstanceNorm, ReLU, AvgPool] × D followed by a linear classifier),
+// the softmax cross-entropy loss, and parameter plumbing (flattening,
+// cloning, serialization) needed by federated averaging.
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/tensor"
+)
+
+// Param is a named, trainable tensor owned by a model. The tensor is the
+// master copy: optimizers mutate it in place, and each forward pass binds
+// it into the graph as a fresh autodiff variable.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+}
+
+// Layer is one stage of a feed-forward network. Forward consumes the
+// layer's bound parameter variables in the order returned by Params.
+type Layer interface {
+	// Name identifies the layer for debugging and serialization.
+	Name() string
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// Forward applies the layer. ps holds one bound variable per Param,
+	// in the same order.
+	Forward(x *ad.Value, ps []*ad.Value) *ad.Value
+}
+
+// Model is an ordered stack of layers.
+type Model struct {
+	layers []Layer
+	params []*Param
+	// InputShape is the per-sample input shape [H, W, C].
+	InputShape []int
+	// Classes is the size of the output layer.
+	Classes int
+}
+
+// NewModel assembles a model from layers. inputShape is [H, W, C].
+func NewModel(inputShape []int, classes int, layers ...Layer) *Model {
+	m := &Model{layers: layers, InputShape: append([]int(nil), inputShape...), Classes: classes}
+	for _, l := range layers {
+		m.params = append(m.params, l.Params()...)
+	}
+	return m
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*Param { return m.params }
+
+// Layers returns the model's layer stack. Callers must treat it as
+// read-only; it is exposed for structural methods such as FU-MP's
+// channel pruning, which needs to locate convolution layers.
+func (m *Model) Layers() []Layer { return m.layers }
+
+// ForwardLayers runs only the first n layers on x with frozen parameters
+// and returns the intermediate activation tensor — used to probe channel
+// activations for model-pruning baselines.
+func (m *Model) ForwardLayers(x *tensor.Tensor, n int) *tensor.Tensor {
+	if n < 0 || n > len(m.layers) {
+		panic(fmt.Sprintf("nn: ForwardLayers n=%d out of range [0,%d]", n, len(m.layers)))
+	}
+	v := ad.Const(x)
+	off := 0
+	for i, l := range m.layers {
+		np := len(l.Params())
+		if i >= n {
+			break
+		}
+		ps := make([]*ad.Value, np)
+		for j := 0; j < np; j++ {
+			ps[j] = ad.Const(m.params[off+j].Data)
+		}
+		v = l.Forward(v, ps)
+		off += np
+	}
+	return v.Data
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.Data.Len()
+	}
+	return n
+}
+
+// ParamTensors returns the live parameter tensors (shared storage).
+func (m *Model) ParamTensors() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(m.params))
+	for i, p := range m.params {
+		out[i] = p.Data
+	}
+	return out
+}
+
+// CloneParams returns deep copies of the current parameter tensors.
+func (m *Model) CloneParams() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(m.params))
+	for i, p := range m.params {
+		out[i] = p.Data.Clone()
+	}
+	return out
+}
+
+// SetParams overwrites the model's parameters with copies of src.
+func (m *Model) SetParams(src []*tensor.Tensor) {
+	if len(src) != len(m.params) {
+		panic(fmt.Sprintf("nn: SetParams got %d tensors for %d params", len(src), len(m.params)))
+	}
+	for i, p := range m.params {
+		if !p.Data.SameShape(src[i]) {
+			panic(fmt.Sprintf("nn: SetParams shape mismatch at %q: %v vs %v", p.Name, p.Data.Shape(), src[i].Shape()))
+		}
+		copy(p.Data.Data(), src[i].Data())
+	}
+}
+
+// Bound is a model with its parameters bound into an autodiff graph for
+// one forward/backward episode.
+type Bound struct {
+	model *Model
+	vars  []*ad.Value
+}
+
+// Bind wraps the current parameter tensors as differentiable variables.
+// Call once per optimization step; the returned Bound shares no graph with
+// previous episodes.
+func (m *Model) Bind() *Bound {
+	vars := make([]*ad.Value, len(m.params))
+	for i, p := range m.params {
+		vars[i] = ad.Var(p.Data)
+	}
+	return &Bound{model: m, vars: vars}
+}
+
+// BindFrozen wraps parameters as constants (inference only, no gradients).
+func (m *Model) BindFrozen() *Bound {
+	vars := make([]*ad.Value, len(m.params))
+	for i, p := range m.params {
+		vars[i] = ad.Const(p.Data)
+	}
+	return &Bound{model: m, vars: vars}
+}
+
+// ParamVars returns the bound parameter variables, aligned with
+// Model.Params.
+func (b *Bound) ParamVars() []*ad.Value { return b.vars }
+
+// Forward runs the full stack on a batch x of shape [B, H, W, C] (or
+// [B, features] for purely dense models) and returns the logits.
+func (b *Bound) Forward(x *ad.Value) *ad.Value {
+	return b.ForwardUpTo(x, len(b.model.layers))
+}
+
+// ForwardUpTo runs only the first n layers, returning the intermediate
+// activation as a differentiable value — the embedding hook used by
+// distribution-matching distillation.
+func (b *Bound) ForwardUpTo(x *ad.Value, n int) *ad.Value {
+	if n < 0 || n > len(b.model.layers) {
+		panic(fmt.Sprintf("nn: ForwardUpTo n=%d out of range [0,%d]", n, len(b.model.layers)))
+	}
+	off := 0
+	for i, l := range b.model.layers {
+		np := len(l.Params())
+		if i >= n {
+			break
+		}
+		x = l.Forward(x, b.vars[off:off+np])
+		off += np
+	}
+	return x
+}
+
+// NumLayers returns the layer count (for partial forwards).
+func (b *Bound) NumLayers() int { return len(b.model.layers) }
+
+// Logits is a convenience for inference on raw tensors: it binds frozen
+// parameters and returns the logits tensor.
+func (m *Model) Logits(x *tensor.Tensor) *tensor.Tensor {
+	return m.BindFrozen().Forward(ad.Const(x)).Data
+}
+
+// Predict returns the argmax class per sample.
+func (m *Model) Predict(x *tensor.Tensor) []int {
+	return m.Logits(x).ArgMaxRows()
+}
+
+// WriteTo serializes all parameter tensors in order.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, p := range m.params {
+		k, err := p.Data.WriteTo(w)
+		n += k
+		if err != nil {
+			return n, fmt.Errorf("nn: write param %q: %w", p.Name, err)
+		}
+	}
+	return n, nil
+}
+
+// LoadFrom restores parameters serialized by WriteTo into the model.
+// The model must have been constructed with the same architecture.
+func (m *Model) LoadFrom(r io.Reader) error {
+	for _, p := range m.params {
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return fmt.Errorf("nn: read param %q: %w", p.Name, err)
+		}
+		if !t.SameShape(p.Data) {
+			return fmt.Errorf("nn: param %q shape %v does not match stored %v", p.Name, p.Data.Shape(), t.Shape())
+		}
+		copy(p.Data.Data(), t.Data())
+	}
+	return nil
+}
+
+// heInit fills weights with He-normal initialization for fan-in.
+func heInit(rng *rand.Rand, fanIn int, shape ...int) *tensor.Tensor {
+	return tensor.Randn(rng, math.Sqrt(2/float64(fanIn)), shape...)
+}

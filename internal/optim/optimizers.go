@@ -1,0 +1,156 @@
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"quickdrop/internal/tensor"
+)
+
+// Momentum is SGD with classical (heavy-ball) momentum:
+// v ← μv + g; θ ← θ ∓ ηv.
+type Momentum struct {
+	LR  float64
+	Mu  float64
+	Dir Direction
+	// Steps counts parameter updates performed.
+	Steps    int
+	velocity []*tensor.Tensor
+}
+
+// NewMomentum returns a descending momentum optimizer.
+func NewMomentum(lr, mu float64) *Momentum { return &Momentum{LR: lr, Mu: mu} }
+
+// Step applies one update in place.
+func (m *Momentum) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optim: %d params but %d grads", len(params), len(grads)))
+	}
+	if m.velocity == nil {
+		m.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			m.velocity[i] = tensor.New(p.Shape()...)
+		}
+	}
+	alpha := -m.LR
+	if m.Dir == Ascend {
+		alpha = m.LR
+	}
+	for i, p := range params {
+		m.velocity[i].ScaleInPlace(m.Mu).AddInPlace(grads[i])
+		p.AxpyInPlace(alpha, m.velocity[i])
+	}
+	m.Steps++
+}
+
+// Adam implements Kingma & Ba's optimizer with bias correction.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Dir    Direction
+	Steps  int
+	m1, m2 []*tensor.Tensor
+}
+
+// NewAdam returns Adam with the standard defaults (β₁=0.9, β₂=0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update in place.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optim: %d params but %d grads", len(params), len(grads)))
+	}
+	if a.m1 == nil {
+		a.m1 = make([]*tensor.Tensor, len(params))
+		a.m2 = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m1[i] = tensor.New(p.Shape()...)
+			a.m2[i] = tensor.New(p.Shape()...)
+		}
+	}
+	a.Steps++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.Steps))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.Steps))
+	sign := -1.0
+	if a.Dir == Ascend {
+		sign = 1
+	}
+	for i, p := range params {
+		g, m1, m2 := grads[i].Data(), a.m1[i].Data(), a.m2[i].Data()
+		pd := p.Data()
+		for j := range pd {
+			m1[j] = a.Beta1*m1[j] + (1-a.Beta1)*g[j]
+			m2[j] = a.Beta2*m2[j] + (1-a.Beta2)*g[j]*g[j]
+			mHat := m1[j] / c1
+			vHat := m2[j] / c2
+			pd[j] += sign * a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+// Optimizer abstracts over the update rules so training loops can swap
+// them.
+type Optimizer interface {
+	Step(params, grads []*tensor.Tensor)
+}
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Momentum)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// Schedule maps a step index to a learning rate.
+type Schedule func(step int) float64
+
+// ConstantLR returns lr for every step.
+func ConstantLR(lr float64) Schedule { return func(int) float64 { return lr } }
+
+// StepDecay multiplies lr by factor every `every` steps.
+func StepDecay(lr, factor float64, every int) Schedule {
+	if every <= 0 {
+		panic("optim: StepDecay needs every > 0")
+	}
+	return func(step int) float64 {
+		return lr * math.Pow(factor, float64(step/every))
+	}
+}
+
+// CosineDecay anneals lr from lr to floor over total steps.
+func CosineDecay(lr, floor float64, total int) Schedule {
+	if total <= 0 {
+		panic("optim: CosineDecay needs total > 0")
+	}
+	return func(step int) float64 {
+		if step >= total {
+			return floor
+		}
+		t := float64(step) / float64(total)
+		return floor + 0.5*(lr-floor)*(1+math.Cos(math.Pi*t))
+	}
+}
+
+// ClipGradNorm scales grads in place so their global L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(grads []*tensor.Tensor, maxNorm float64) float64 {
+	if maxNorm <= 0 {
+		panic("optim: ClipGradNorm needs maxNorm > 0")
+	}
+	sq := 0.0
+	for _, g := range grads {
+		n := g.Norm()
+		sq += n * n
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			g.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

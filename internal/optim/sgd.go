@@ -1,0 +1,88 @@
+// Package optim provides the stochastic gradient optimizers used by
+// federated training, unlearning (gradient ascent) and recovery, together
+// with the gradient-computation accounting that QuickDrop's efficiency
+// tables are built from.
+package optim
+
+import (
+	"fmt"
+
+	"quickdrop/internal/tensor"
+)
+
+// Direction selects whether SGD descends (training, recovery, relearning)
+// or ascends (unlearning) the loss surface. The paper's Algorithm 1 is
+// exactly SGD with the sign flipped during the unlearn phase.
+type Direction int
+
+const (
+	// Descend minimizes the loss (θ ← θ − η∇L).
+	Descend Direction = iota
+	// Ascend maximizes the loss (θ ← θ + η∇L), used for unlearning.
+	Ascend
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Descend:
+		return "descend"
+	case Ascend:
+		return "ascend"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// SGD is plain stochastic gradient descent/ascent.
+type SGD struct {
+	// LR is the learning rate η.
+	LR float64
+	// Dir selects descent or ascent.
+	Dir Direction
+	// Steps counts parameter updates performed.
+	Steps int
+}
+
+// NewSGD returns a descending SGD optimizer.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewSGA returns an ascending SGD optimizer (gradient ascent).
+func NewSGA(lr float64) *SGD { return &SGD{LR: lr, Dir: Ascend} }
+
+// Step applies one update to params given aligned gradients, in place.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optim: %d params but %d grads", len(params), len(grads)))
+	}
+	alpha := -s.LR
+	if s.Dir == Ascend {
+		alpha = s.LR
+	}
+	for i, p := range params {
+		p.AxpyInPlace(alpha, grads[i])
+	}
+	s.Steps++
+}
+
+// Counter tracks the cost drivers reported in the paper's efficiency
+// tables: the number of gradient evaluations (one per sample per backward
+// pass) and the number of samples touched.
+type Counter struct {
+	// GradEvals is the number of per-sample gradient computations.
+	GradEvals int
+	// SamplesTouched is the total number of samples consumed by batches.
+	SamplesTouched int
+}
+
+// AddBatch records one forward/backward pass over a batch of n samples.
+func (c *Counter) AddBatch(n int) {
+	c.GradEvals += n
+	c.SamplesTouched += n
+}
+
+// Add merges another counter into this one.
+func (c *Counter) Add(o Counter) {
+	c.GradEvals += o.GradEvals
+	c.SamplesTouched += o.SamplesTouched
+}

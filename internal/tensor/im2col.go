@@ -1,0 +1,119 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a patch-extraction (im2col) operation
+// on NHWC feature maps.
+type ConvGeom struct {
+	Kernel  int // square kernel side
+	Stride  int
+	Pad     int // symmetric zero padding
+	InH     int
+	InW     int
+	Channel int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.Kernel)/g.Stride + 1 }
+
+// Validate checks that the geometry yields a positive output size.
+func (g ConvGeom) Validate() error {
+	if g.Kernel <= 0 || g.Stride <= 0 || g.Pad < 0 || g.InH <= 0 || g.InW <= 0 || g.Channel <= 0 {
+		return fmt.Errorf("tensor: invalid conv geometry %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry %+v yields empty output", g)
+	}
+	return nil
+}
+
+// Im2col extracts sliding kernel patches from x (shape [B, H, W, C]) and
+// lays them out as a matrix of shape [B*OH*OW, K*K*C]. Row r corresponds to
+// output position (b, oh, ow) in row-major order; within a row, elements are
+// ordered (kh, kw, c). Out-of-bounds positions (from padding) contribute 0.
+func Im2col(x *Tensor, g ConvGeom) *Tensor {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	sh := x.Shape()
+	if len(sh) != 4 || sh[1] != g.InH || sh[2] != g.InW || sh[3] != g.Channel {
+		panic(fmt.Sprintf("tensor: Im2col input %v does not match geometry %+v", sh, g))
+	}
+	b, oh, ow := sh[0], g.OutH(), g.OutW()
+	cols := g.Kernel * g.Kernel * g.Channel
+	out := New(b*oh*ow, cols)
+	xd, od := x.Data(), out.Data()
+	row := 0
+	for bi := 0; bi < b; bi++ {
+		base := bi * g.InH * g.InW * g.Channel
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := od[row*cols : (row+1)*cols]
+				p := 0
+				for kh := 0; kh < g.Kernel; kh++ {
+					iy := oy*g.Stride + kh - g.Pad
+					for kw := 0; kw < g.Kernel; kw++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							p += g.Channel // padded region stays zero
+							continue
+						}
+						src := base + (iy*g.InW+ix)*g.Channel
+						copy(dst[p:p+g.Channel], xd[src:src+g.Channel])
+						p += g.Channel
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Col2im is the adjoint of Im2col: it scatter-adds a patch matrix of shape
+// [B*OH*OW, K*K*C] back into an NHWC tensor [B, H, W, C]. Positions covered
+// by multiple patches accumulate, making Col2im the exact transpose of the
+// linear map Im2col.
+func Col2im(cols *Tensor, batch int, g ConvGeom) *Tensor {
+	if err := g.Validate(); err != nil {
+		panic(err.Error())
+	}
+	oh, ow := g.OutH(), g.OutW()
+	nc := g.Kernel * g.Kernel * g.Channel
+	sh := cols.Shape()
+	if len(sh) != 2 || sh[0] != batch*oh*ow || sh[1] != nc {
+		panic(fmt.Sprintf("tensor: Col2im input %v does not match batch %d geometry %+v", sh, batch, g))
+	}
+	out := New(batch, g.InH, g.InW, g.Channel)
+	cd, od := cols.Data(), out.Data()
+	row := 0
+	for bi := 0; bi < batch; bi++ {
+		base := bi * g.InH * g.InW * g.Channel
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cd[row*nc : (row+1)*nc]
+				p := 0
+				for kh := 0; kh < g.Kernel; kh++ {
+					iy := oy*g.Stride + kh - g.Pad
+					for kw := 0; kw < g.Kernel; kw++ {
+						ix := ox*g.Stride + kw - g.Pad
+						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+							p += g.Channel
+							continue
+						}
+						dst := base + (iy*g.InW+ix)*g.Channel
+						for c := 0; c < g.Channel; c++ {
+							od[dst+c] += src[p+c]
+						}
+						p += g.Channel
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}

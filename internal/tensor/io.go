@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization format (little endian):
+//
+//	uint32 magic "TNSR"
+//	uint32 rank
+//	rank × uint32 dims
+//	n × float64 data
+const magic = 0x544e5352 // "TNSR"
+
+// WriteTo serializes t to w in a compact binary format.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(uint32(magic)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.shape))); err != nil {
+		return n, err
+	}
+	for _, d := range t.shape {
+		if err := write(uint32(d)); err != nil {
+			return n, err
+		}
+	}
+	buf := make([]byte, 8*len(t.data))
+	for i, v := range t.data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	m, err := w.Write(buf)
+	return n + int64(m), err
+}
+
+// ReadFrom deserializes a tensor written by WriteTo.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	var mg, rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &mg); err != nil {
+		return nil, fmt.Errorf("tensor: read magic: %w", err)
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("tensor: bad magic %#x", mg)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("tensor: read rank: %w", err)
+	}
+	if rank == 0 || rank > 8 {
+		return nil, fmt.Errorf("tensor: unreasonable rank %d", rank)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("tensor: read dim: %w", err)
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("tensor: zero dimension")
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("tensor: read data: %w", err)
+	}
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return t, nil
+}

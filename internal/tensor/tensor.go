@@ -1,0 +1,452 @@
+// Package tensor provides a dense, row-major float64 tensor with the
+// numerical kernels required by the rest of the repository: elementwise
+// arithmetic, matrix multiplication, im2col/col2im patch extraction, and
+// axis reductions. It is deliberately minimal — no views, no strides beyond
+// row-major — so that every operation has obvious copy semantics and can be
+// verified in isolation.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+// The zero value is an empty tensor; use New or the constructors below.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. All dimensions
+// must be positive; a scalar is represented as shape [1].
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: cloneInts(shape), data: make([]float64, n)}
+}
+
+// FromSlice wraps a copy of data in a tensor of the given shape.
+// It panics if len(data) does not match the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	d := make([]float64, n)
+	copy(d, data)
+	return &Tensor{shape: cloneInts(shape), data: d}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Ones returns a tensor of ones.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Randn returns a tensor with elements drawn from N(0, stddev²) using rng.
+func Randn(rng *rand.Rand, stddev float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * stddev
+	}
+	return t
+}
+
+// Uniform returns a tensor with elements drawn uniformly from [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. The slice is shared, not copied;
+// callers that mutate it mutate the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{shape: cloneInts(t.shape), data: append([]float64(nil), t.data...)}
+}
+
+// Reshape returns a copy of t with a new shape holding the same elements
+// in row-major order. It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	c := t.Clone()
+	c.shape = cloneInts(shape)
+	return c
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong rank for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+// --- elementwise ---
+
+func (t *Tensor) mustSameShape(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Add returns t + o elementwise.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Add")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] += v
+	}
+	return r
+}
+
+// AddInPlace accumulates o into t and returns t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "AddInPlace")
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// Sub returns t - o elementwise.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Sub")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] -= v
+	}
+	return r
+}
+
+// Mul returns the elementwise (Hadamard) product.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Mul")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] *= v
+	}
+	return r
+}
+
+// Scale returns c * t.
+func (t *Tensor) Scale(c float64) *Tensor {
+	r := t.Clone()
+	for i := range r.data {
+		r.data[i] *= c
+	}
+	return r
+}
+
+// ScaleInPlace multiplies every element by c and returns t.
+func (t *Tensor) ScaleInPlace(c float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= c
+	}
+	return t
+}
+
+// AxpyInPlace computes t += alpha*o in place and returns t.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
+	t.mustSameShape(o, "AxpyInPlace")
+	for i, v := range o.data {
+		t.data[i] += alpha * v
+	}
+	return t
+}
+
+// Neg returns -t.
+func (t *Tensor) Neg() *Tensor { return t.Scale(-1) }
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	r := t.Clone()
+	for i, v := range r.data {
+		r.data[i] = f(v)
+	}
+	return r
+}
+
+// Pow returns t with every element raised to p. Negative bases with
+// non-integer exponents yield NaN, as in math.Pow.
+func (t *Tensor) Pow(p float64) *Tensor {
+	return t.Apply(func(v float64) float64 { return math.Pow(v, p) })
+}
+
+// Exp returns elementwise e^t.
+func (t *Tensor) Exp() *Tensor { return t.Apply(math.Exp) }
+
+// Log returns elementwise natural log.
+func (t *Tensor) Log() *Tensor { return t.Apply(math.Log) }
+
+// ReLU returns elementwise max(t, 0).
+func (t *Tensor) ReLU() *Tensor {
+	return t.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// ReLUMask returns a tensor of 1s where t > 0 and 0s elsewhere.
+func (t *Tensor) ReLUMask() *Tensor {
+	return t.Apply(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// --- reductions and broadcasting ---
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product of two same-shape tensors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.mustSameShape(o, "Dot")
+	s := 0.0
+	for i, v := range t.data {
+		s += v * o.data[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of all elements.
+func (t *Tensor) Norm() float64 { return math.Sqrt(t.Dot(t)) }
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMaxRows treats t as [R, C] and returns the argmax column per row.
+func (t *Tensor) ArgMaxRows() []int {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ArgMaxRows requires a matrix, got %v", t.shape))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best, bestV := 0, math.Inf(-1)
+		for c := 0; c < cols; c++ {
+			if v := t.data[r*cols+c]; v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[r] = best
+	}
+	return out
+}
+
+// SumAxes sums over the given axes, keeping them as size-1 dimensions.
+// Axes must be sorted, unique and in range.
+func (t *Tensor) SumAxes(axes ...int) *Tensor {
+	reduce := make([]bool, len(t.shape))
+	for i, a := range axes {
+		if a < 0 || a >= len(t.shape) {
+			panic(fmt.Sprintf("tensor: SumAxes axis %d out of range for shape %v", a, t.shape))
+		}
+		if i > 0 && axes[i-1] >= a {
+			panic("tensor: SumAxes axes must be sorted and unique")
+		}
+		reduce[a] = true
+	}
+	outShape := make([]int, len(t.shape))
+	for i, s := range t.shape {
+		if reduce[i] {
+			outShape[i] = 1
+		} else {
+			outShape[i] = s
+		}
+	}
+	out := New(outShape...)
+	idx := make([]int, len(t.shape))
+	for off := 0; off < len(t.data); off++ {
+		oOff := 0
+		for i := range idx {
+			oi := idx[i]
+			if reduce[i] {
+				oi = 0
+			}
+			oOff = oOff*outShape[i] + oi
+		}
+		out.data[oOff] += t.data[off]
+		incIndex(idx, t.shape)
+	}
+	return out
+}
+
+// BroadcastTo expands size-1 dimensions of t to match shape. The ranks
+// must be equal and every non-1 dimension must already match.
+func (t *Tensor) BroadcastTo(shape ...int) *Tensor {
+	if len(shape) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: BroadcastTo rank mismatch %v vs %v", t.shape, shape))
+	}
+	for i, s := range t.shape {
+		if s != shape[i] && s != 1 {
+			panic(fmt.Sprintf("tensor: cannot broadcast %v to %v", t.shape, shape))
+		}
+	}
+	out := New(shape...)
+	idx := make([]int, len(shape))
+	for off := 0; off < len(out.data); off++ {
+		sOff := 0
+		for i := range idx {
+			si := idx[i]
+			if t.shape[i] == 1 {
+				si = 0
+			}
+			sOff = sOff*t.shape[i] + si
+		}
+		out.data[off] = t.data[sOff]
+		incIndex(idx, shape)
+	}
+	return out
+}
+
+// incIndex advances a row-major multi-index by one position.
+func incIndex(idx, shape []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < shape[i] {
+			return
+		}
+		idx[i] = 0
+	}
+}
+
+// --- linear algebra ---
+
+// MatMul returns the matrix product of t [M,K] and o [K,N].
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires matrices, got %v and %v", t.shape, o.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", t.shape, o.shape))
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop contiguous in both o and out.
+	for i := 0; i < m; i++ {
+		ti := t.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			a := ti[kk]
+			if a == 0 {
+				continue
+			}
+			bj := o.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += a * bj[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a matrix.
+func (t *Tensor) Transpose() *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires a matrix, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// --- helpers ---
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= s
+	}
+	return n
+}
+
+func cloneInts(s []int) []int { return append([]int(nil), s...) }
