@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Hygiene gate: gofmt, vet, and race-enabled tests on the concurrent
+# packages (tensor kernels, fl training loops).
+check:
+	sh scripts/check.sh
+
+# Allocation-focused benchmarks for the compute backbone.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/tensor/
+
+fmt:
+	gofmt -w .

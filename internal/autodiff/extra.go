@@ -31,7 +31,7 @@ func ConcatRows(parts ...*Value) *Value {
 		starts[i] = r
 		r += p.Data.Dim(0)
 	}
-	return newNode("concatrows", out, parts, func(g *Value) []*Value {
+	return newNodeN("concatrows", out, parts, func(n, g *Value) []*Value {
 		grads := make([]*Value, len(parts))
 		for i, p := range parts {
 			grads[i] = SliceRows(g, starts[i], starts[i]+p.Data.Dim(0))
@@ -40,18 +40,15 @@ func ConcatRows(parts ...*Value) *Value {
 	})
 }
 
-// SliceRows returns rows [lo, hi) of a matrix.
+// SliceRows returns rows [lo, hi) of a matrix. The result is a view
+// sharing a's storage (rows are contiguous in row-major order).
 func SliceRows(a *Value, lo, hi int) *Value {
-	sh := a.Data.Shape()
-	if len(sh) != 2 || lo < 0 || hi > sh[0] || lo >= hi {
-		panic(fmt.Sprintf("autodiff: SliceRows [%d,%d) of %v", lo, hi, sh))
+	if a.Data.Dims() != 2 || lo < 0 || hi > a.Data.Dim(0) || lo >= hi {
+		panic(fmt.Sprintf("autodiff: SliceRows [%d,%d) of %v", lo, hi, a.Data.Shape()))
 	}
-	cols := sh[1]
-	out := tensor.FromSlice(a.Data.Data()[lo*cols:hi*cols], hi-lo, cols)
-	total := sh[0]
-	return newNode("slicerows", out, []*Value{a}, func(g *Value) []*Value {
-		full := tensor.New(total, cols)
-		copy(full.Data()[lo*cols:], g.Data.Data())
+	cols := a.Data.Dim(1)
+	total := a.Data.Dim(0)
+	return newNode1("slicerows", a.Data.RowsView(lo, hi), a, func(n, g *Value) *Value {
 		// The scatter is linear with constant placement, so wrapping the
 		// embedded gradient through ConcatRows keeps it differentiable.
 		var parts []*Value
@@ -62,7 +59,7 @@ func SliceRows(a *Value, lo, hi int) *Value {
 		if hi < total {
 			parts = append(parts, Const(tensor.New(total-hi, cols)))
 		}
-		return []*Value{ConcatRows(parts...)}
+		return ConcatRows(parts...)
 	})
 }
 

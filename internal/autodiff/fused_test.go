@@ -1,0 +1,128 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"quickdrop/internal/tensor"
+)
+
+// Finite-difference checks for the fused primitives added by the compute
+// backbone: explicit Sub, row-bias addition, transpose-fused matrix
+// products, fused broadcast arithmetic, and fused multiply-reduce. Their
+// VJPs are hand-written against the node's stored operands, so each needs
+// its own numeric agreement check.
+func TestFusedGradientNumericAgreement(t *testing.T) {
+	tests := []struct {
+		name   string
+		shapes [][]int
+		f      func(xs []*Value) *Value
+		seed   int64
+	}{
+		{"sub", [][]int{{2, 3}, {2, 3}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(Sub(xs[0], xs[1]), 2))
+		}, 21},
+		{"addrowvec", [][]int{{3, 4}, {4}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(AddRowVec(xs[0], xs[1]), 2))
+		}, 22},
+		{"matmulnt", [][]int{{3, 4}, {2, 4}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(MatMulNT(xs[0], xs[1]), 2))
+		}, 23},
+		{"matmultn", [][]int{{4, 3}, {4, 2}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(MatMulTN(xs[0], xs[1]), 2))
+		}, 24},
+		{"mulbcast-channels", [][]int{{2, 3, 3, 2}, {1, 1, 1, 2}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(MulBcast(xs[0], xs[1]), 2))
+		}, 25},
+		{"addbcast-batch", [][]int{{2, 3, 3, 2}, {2, 1, 1, 1}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(AddBcast(xs[0], xs[1]), 2))
+		}, 26},
+		{"subbcast", [][]int{{3, 4}, {1, 4}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(SubBcast(xs[0], xs[1]), 2))
+		}, 27},
+		{"mulsum", [][]int{{3, 4}, {3, 4}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(MulSum(xs[0], xs[1], 1), 2))
+		}, 28},
+		{"mulsum-spatial", [][]int{{2, 3, 3, 2}, {2, 3, 3, 2}}, func(xs []*Value) *Value {
+			return SumAll(PowConst(MulSum(xs[0], xs[1], 1, 2), 2))
+		}, 29},
+		{"instance-norm-shape", [][]int{{2, 3, 3, 2}}, func(xs []*Value) *Value {
+			// The InstanceNorm forward computation, written against the
+			// fused primitives exactly as internal/nn does.
+			x := xs[0]
+			area := 9.0
+			mean := Scale(SumAxes(x, 1, 2), 1/area)
+			centered := SubBcast(x, mean)
+			variance := Scale(MulSum(centered, centered, 1, 2), 1/area)
+			inv := PowConst(AddConst(variance, 1e-5), -0.5)
+			return SumAll(PowConst(MulBcast(centered, inv), 2))
+		}, 30},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			xs := make([]*tensor.Tensor, len(tc.shapes))
+			for i, sh := range tc.shapes {
+				xs[i] = randT(tc.seed*100+int64(i), 1, sh...)
+			}
+			if err := CheckGradient(tc.f, xs, fdEps, fdTol); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The fused primitives must be closed under differentiation: QuickDrop
+// differentiates a distance between gradients, so second-order flows
+// through MulBcast/SubBcast/MulSum. Check ∂²/∂s² numerically.
+func TestFusedSecondOrderNumeric(t *testing.T) {
+	firstGrad := func(st *tensor.Tensor) *tensor.Tensor {
+		s := Var(st.Clone())
+		mean := Scale(SumAxes(s, 1), 1.0/3)
+		centered := SubBcast(s, mean)
+		loss := SumAll(PowConst(MulSum(centered, centered, 1), 2))
+		return MustGrad(loss, []*Value{s})[0].Data
+	}
+
+	st := randT(31, 1, 2, 3)
+	s := Var(st.Clone())
+	mean := Scale(SumAxes(s, 1), 1.0/3)
+	centered := SubBcast(s, mean)
+	loss := SumAll(PowConst(MulSum(centered, centered, 1), 2))
+	g := MustGrad(loss, []*Value{s})[0]
+	m := SumAll(g)
+	hv := MustGrad(m, []*Value{s})[0] // H·1: row sums of the Hessian
+
+	for j := range st.Data() {
+		up := st.Clone()
+		up.Data()[j] += fdEps
+		down := st.Clone()
+		down.Data()[j] -= fdEps
+		numeric := (firstGrad(up).Sum() - firstGrad(down).Sum()) / (2 * fdEps)
+		if got := hv.Data.Data()[j]; math.Abs(got-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("second-order elem %d = %g, numeric %g", j, got, numeric)
+		}
+	}
+}
+
+// Identity shortcuts: BroadcastLike and sumAxesLike return their input
+// unchanged when shapes already match, rather than inserting a node.
+func TestLikeOpsIdentityShortcut(t *testing.T) {
+	x := Var(tensor.Ones(2, 3))
+	if BroadcastLike(x, x.Data) != x {
+		t.Fatal("BroadcastLike onto same shape must be the identity")
+	}
+	if sumAxesLike(x, x.Data) != x {
+		t.Fatal("sumAxesLike onto same shape must be the identity")
+	}
+}
+
+// Interior nodes embed their result tensor: the Data pointer of an op's
+// output must be the node's inline header, not a separate allocation.
+func TestNodeEmbedsResultTensor(t *testing.T) {
+	a := Var(tensor.Ones(2, 2))
+	b := Var(tensor.Ones(2, 2))
+	v := Add(a, b)
+	if v.Data != &v.dataInline {
+		t.Fatal("op result must live in the node's inline tensor header")
+	}
+}

@@ -2,32 +2,59 @@ package autodiff
 
 import (
 	"fmt"
+	"math"
 
 	"quickdrop/internal/tensor"
 )
 
+// Two conventions keep the graph cheap to build:
+//
+//   - Ops allocate their node first and compute the result directly into
+//     the node's inline tensor header (v.scratch()), so an interior node
+//     costs one allocation plus its element storage.
+//   - VJP functions are non-capturing func literals (or named functions):
+//     they read their operands from the node — inputsArr, the c constant,
+//     or the node itself — rather than closing over locals, so Go places
+//     them in static storage instead of allocating a closure per op call.
+//     Only ops whose backward needs non-node state (Im2col's geometry,
+//     SliceRows' bounds) pay for a closure.
+
 // Add returns a + b (same shape).
 func Add(a, b *Value) *Value {
-	return newNode("add", a.Data.Add(b.Data), []*Value{a, b}, func(g *Value) []*Value {
-		return []*Value{g, g}
+	v := newNode2("add", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return g, g
 	})
+	v.Data = tensor.AddInto(v.scratch(), a.Data, b.Data)
+	return v
 }
 
 // Neg returns -a.
 func Neg(a *Value) *Value {
-	return newNode("neg", a.Data.Neg(), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Neg(g)}
+	v := newNode1("neg", nil, a, func(n, g *Value) *Value {
+		return Neg(g)
 	})
+	v.Data = tensor.ScaleInto(v.scratch(), a.Data, -1)
+	return v
 }
 
-// Sub returns a - b (same shape).
-func Sub(a, b *Value) *Value { return Add(a, Neg(b)) }
+// Sub returns a - b (same shape). It is a primitive (not Add∘Neg) so the
+// hot paths that difference tensors — cross-entropy shifting, instance
+// normalization, distance losses — allocate one node instead of two.
+func Sub(a, b *Value) *Value {
+	v := newNode2("sub", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return g, Neg(g)
+	})
+	v.Data = tensor.SubInto(v.scratch(), a.Data, b.Data)
+	return v
+}
 
 // Mul returns the elementwise product (same shape).
 func Mul(a, b *Value) *Value {
-	return newNode("mul", a.Data.Mul(b.Data), []*Value{a, b}, func(g *Value) []*Value {
-		return []*Value{Mul(g, b), Mul(g, a)}
+	v := newNode2("mul", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return Mul(g, n.inputsArr[1]), Mul(g, n.inputsArr[0])
 	})
+	v.Data = tensor.MulInto(v.scratch(), a.Data, b.Data)
+	return v
 }
 
 // Div returns elementwise a / b (same shape).
@@ -35,106 +62,255 @@ func Div(a, b *Value) *Value { return Mul(a, PowConst(b, -1)) }
 
 // Scale returns c * a for a Go-constant c.
 func Scale(a *Value, c float64) *Value {
-	return newNode("scale", a.Data.Scale(c), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Scale(g, c)}
+	v := newNode1c("scale", nil, a, c, func(n, g *Value) *Value {
+		return Scale(g, n.c)
 	})
+	v.Data = tensor.ScaleInto(v.scratch(), a.Data, c)
+	return v
 }
 
 // AddConst returns a + c elementwise for a Go-constant c.
 func AddConst(a *Value, c float64) *Value {
-	return newNode("addconst", a.Data.Apply(func(v float64) float64 { return v + c }), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{g}
+	v := newNode1("addconst", nil, a, func(n, g *Value) *Value {
+		return g
 	})
+	v.Data = tensor.AddConstInto(v.scratch(), a.Data, c)
+	return v
 }
 
 // PowConst returns aᵖ elementwise for a Go-constant exponent p.
 func PowConst(a *Value, p float64) *Value {
-	return newNode("powconst", a.Data.Pow(p), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Mul(g, Scale(PowConst(a, p-1), p))}
+	v := newNode1c("powconst", nil, a, p, func(n, g *Value) *Value {
+		return Mul(g, Scale(PowConst(n.inputsArr[0], n.c-1), n.c))
 	})
+	v.Data = tensor.PowInto(v.scratch(), a.Data, p)
+	return v
 }
 
 // Sqrt returns the elementwise square root.
 func Sqrt(a *Value) *Value { return PowConst(a, 0.5) }
 
-// Exp returns elementwise eᵃ.
+// Exp returns elementwise eᵃ. Its derivative is its own output, read back
+// off the node during backward.
 func Exp(a *Value) *Value {
-	var out *Value
-	out = newNode("exp", a.Data.Exp(), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Mul(g, out)}
+	v := newNode1("exp", nil, a, func(n, g *Value) *Value {
+		return Mul(g, n)
 	})
-	return out
+	v.Data = tensor.ApplyInto(v.scratch(), a.Data, math.Exp)
+	return v
 }
 
 // Log returns the elementwise natural logarithm.
 func Log(a *Value) *Value {
-	return newNode("log", a.Data.Log(), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Mul(g, PowConst(a, -1))}
+	v := newNode1("log", nil, a, func(n, g *Value) *Value {
+		return Mul(g, PowConst(n.inputsArr[0], -1))
 	})
+	v.Data = tensor.ApplyInto(v.scratch(), a.Data, math.Log)
+	return v
 }
 
 // ReLU returns elementwise max(a, 0). The derivative treats the activation
 // mask as a constant (zero almost everywhere in second order), matching
-// standard deep-learning practice.
+// standard deep-learning practice. The mask is computed once at forward
+// time and stashed in the node's spare input slot — inputs is sliced to
+// length 1, so the traversal never mistakes it for a differentiable input.
 func ReLU(a *Value) *Value {
-	mask := Const(a.Data.ReLUMask())
-	return newNode("relu", a.Data.ReLU(), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Mul(g, mask)}
+	v := newNode1("relu", nil, a, func(n, g *Value) *Value {
+		return Mul(g, n.inputsArr[1])
 	})
+	v.Data = tensor.ApplyInto(v.scratch(), a.Data, relu)
+	if v.vjp1 != nil {
+		v.inputsArr[1] = Const(a.Data.ReLUMask())
+	}
+	return v
+}
+
+func relu(v float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return 0
 }
 
 // Detach returns a's tensor as a constant, cutting the gradient flow.
 func Detach(a *Value) *Value { return Const(a.Data.Clone()) }
 
-// MatMul returns the matrix product a·b for a [M,K] and b [K,N].
+// MatMul returns the matrix product a·b for a [M,K] and b [K,N]. Its VJP
+// uses the transpose-fused kernels, so no backward pass materializes a
+// transposed matrix.
 func MatMul(a, b *Value) *Value {
-	return newNode("matmul", a.Data.MatMul(b.Data), []*Value{a, b}, func(g *Value) []*Value {
-		return []*Value{
-			MatMul(g, Transpose(b)),
-			MatMul(Transpose(a), g),
-		}
+	v := newNode2("matmul", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return MatMulNT(g, n.inputsArr[1]), // ∂/∂a = g·bᵀ
+			MatMulTN(n.inputsArr[0], g) // ∂/∂b = aᵀ·g
 	})
+	v.Data = tensor.MatMulInto(v.scratch(), a.Data, b.Data)
+	return v
+}
+
+// MatMulNT returns a·bᵀ for a [M,K] and b [N,K] without materializing the
+// transpose. The three product forms (NN, NT, TN) are closed under
+// differentiation, so backward graphs of any order stay transpose-free.
+func MatMulNT(a, b *Value) *Value {
+	v := newNode2("matmulnt", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return MatMul(g, n.inputsArr[1]), // ∂/∂a = g·b
+			MatMulTN(g, n.inputsArr[0]) // ∂/∂b = gᵀ·a
+	})
+	v.Data = tensor.MatMulNTInto(v.scratch(), a.Data, b.Data)
+	return v
+}
+
+// MatMulTN returns aᵀ·b for a [K,M] and b [K,N] without materializing the
+// transpose.
+func MatMulTN(a, b *Value) *Value {
+	v := newNode2("matmultn", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return MatMulNT(n.inputsArr[1], g), // ∂/∂a = b·gᵀ
+			MatMul(n.inputsArr[0], g) // ∂/∂b = a·g
+	})
+	v.Data = tensor.MatMulTNInto(v.scratch(), a.Data, b.Data)
+	return v
 }
 
 // Transpose returns the matrix transpose.
 func Transpose(a *Value) *Value {
-	return newNode("transpose", a.Data.Transpose(), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Transpose(g)}
+	v := newNode1("transpose", nil, a, func(n, g *Value) *Value {
+		return Transpose(g)
 	})
+	v.Data = tensor.TransposeInto(v.scratch(), a.Data)
+	return v
 }
 
-// Reshape returns a with a new shape (same element count, row-major order).
+// Reshape returns a with a new shape (same element count, row-major
+// order). The result is a view sharing a's storage — graph-held tensors
+// are immutable for the graph's lifetime, so no copy is needed.
 func Reshape(a *Value, shape ...int) *Value {
-	orig := a.Data.Shape()
-	return newNode("reshape", a.Data.Reshape(shape...), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{Reshape(g, orig...)}
-	})
+	v := newNode1("reshape", nil, a, reshapeBackVJP)
+	v.Data = tensor.ViewInto(v.scratch(), a.Data, shape...)
+	return v
+}
+
+// reshapeBackVJP views the incoming gradient with the input's shape. It
+// serves every reshape-family node: the original shape is recovered from
+// the node's input rather than a captured slice.
+func reshapeBackVJP(n, g *Value) *Value {
+	return reshapeLike(g, n.inputsArr[0].Data)
+}
+
+// reshapeLike views a with ref's shape; its VJP views back, so arbitrarily
+// deep backward graphs never copy or capture a shape slice.
+func reshapeLike(a *Value, ref *tensor.Tensor) *Value {
+	v := newNode1("reshape", nil, a, reshapeBackVJP)
+	v.Data = tensor.ViewLikeInto(v.scratch(), a.Data, ref)
+	return v
 }
 
 // SumAxes sums over the given (sorted, unique) axes, keeping them as size-1
 // dimensions so the result broadcasts back against the input.
 func SumAxes(a *Value, axes ...int) *Value {
-	orig := a.Data.Shape()
-	return newNode("sumaxes", a.Data.SumAxes(axes...), []*Value{a}, func(g *Value) []*Value {
-		return []*Value{BroadcastTo(g, orig...)}
-	})
+	v := newNode1("sumaxes", nil, a, broadcastBackVJP)
+	v.Data = tensor.SumAxesInto(v.scratch(), a.Data, axes...)
+	return v
+}
+
+// broadcastBackVJP expands a reduction's gradient back to its input shape.
+func broadcastBackVJP(n, g *Value) *Value {
+	return BroadcastLike(g, n.inputsArr[0].Data)
+}
+
+// sumBackVJP reduces a broadcast's gradient back down to its input shape.
+func sumBackVJP(n, g *Value) *Value {
+	return sumAxesLike(g, n.inputsArr[0].Data)
+}
+
+// sumAxesLike sums a down to ref's shape (size 1 on reduced axes). It is
+// the adjoint of BroadcastLike; the pair is closed under differentiation.
+func sumAxesLike(a *Value, ref *tensor.Tensor) *Value {
+	if a.Data.SameShape(ref) {
+		return a
+	}
+	v := newNode1("sumaxes", nil, a, broadcastBackVJP)
+	v.Data = tensor.SumLikeInto(v.scratch(), a.Data, ref)
+	return v
 }
 
 // BroadcastTo expands size-1 dimensions of a to the given shape.
 func BroadcastTo(a *Value, shape ...int) *Value {
-	in := a.Data.Shape()
-	var axes []int
-	for i := range in {
-		if in[i] == 1 && shape[i] != 1 {
-			axes = append(axes, i)
-		}
+	v := newNode1("broadcast", nil, a, sumBackVJP)
+	v.Data = tensor.BroadcastToInto(v.scratch(), a.Data, shape...)
+	return v
+}
+
+// BroadcastLike expands size-1 dimensions of a to ref's shape.
+func BroadcastLike(a *Value, ref *tensor.Tensor) *Value {
+	if a.Data.SameShape(ref) {
+		return a
 	}
-	return newNode("broadcast", a.Data.BroadcastTo(shape...), []*Value{a}, func(g *Value) []*Value {
-		if len(axes) == 0 {
-			return []*Value{g}
-		}
-		return []*Value{SumAxes(g, axes...)}
+	v := newNode1("broadcast", nil, a, sumBackVJP)
+	v.Data = tensor.BroadcastLikeInto(v.scratch(), a.Data, ref)
+	return v
+}
+
+// MulBcast returns a ⊙ broadcast(b) for a small b of equal rank with
+// size-1 broadcast axes, without materializing the broadcast. It is the
+// workhorse of normalization layers: scaling a feature map by per-channel
+// or per-sample statistics costs one node and one full-size tensor.
+func MulBcast(a, b *Value) *Value {
+	v := newNode2("mulbcast", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return MulBcast(g, n.inputsArr[1]), mulSumLike(g, n.inputsArr[0], n.inputsArr[1].Data)
 	})
+	v.Data = tensor.MulBcastInto(v.scratch(), a.Data, b.Data)
+	return v
+}
+
+// AddBcast returns a + broadcast(b); see MulBcast.
+func AddBcast(a, b *Value) *Value {
+	v := newNode2("addbcast", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return g, sumAxesLike(g, n.inputsArr[1].Data)
+	})
+	v.Data = tensor.AddBcastInto(v.scratch(), a.Data, b.Data)
+	return v
+}
+
+// SubBcast returns a - broadcast(b); see MulBcast.
+func SubBcast(a, b *Value) *Value {
+	v := newNode2("subbcast", nil, a, b, func(n, g *Value) (*Value, *Value) {
+		return g, Neg(sumAxesLike(g, n.inputsArr[1].Data))
+	})
+	v.Data = tensor.SubBcastInto(v.scratch(), a.Data, b.Data)
+	return v
+}
+
+// mulSumVJP backpropagates any fused multiply-reduce: each operand's
+// gradient is the other operand scaled by the broadcast output gradient.
+func mulSumVJP(n, g *Value) (*Value, *Value) {
+	return MulBcast(n.inputsArr[1], g), MulBcast(n.inputsArr[0], g)
+}
+
+// MulSum returns Σ_axes (a ⊙ b) — SumAxes(Mul(a, b), axes...) without
+// materializing the product. The reduced axes are kept as size-1 dims.
+// Grouped cosine distances and variance computations reduce through this.
+func MulSum(a, b *Value, axes ...int) *Value {
+	v := newNode2("mulsum", nil, a, b, mulSumVJP)
+	v.Data = tensor.MulSumInto(v.scratch(), a.Data, b.Data, axes...)
+	return v
+}
+
+// mulSumLike reduces a ⊙ b to ref's shape; the adjoint of MulBcast.
+func mulSumLike(a, b *Value, ref *tensor.Tensor) *Value {
+	v := newNode2("mulsum", nil, a, b, mulSumVJP)
+	v.Data = tensor.MulSumLikeInto(v.scratch(), a.Data, b.Data, ref)
+	return v
+}
+
+// AddRowVec adds a length-C bias vector to every row of a [R, C] matrix.
+// It fuses the Reshape→BroadcastTo→Add chain used by linear and conv
+// layers into one node, so the forward pass never materializes the
+// broadcast and the backward pass reduces straight to column sums.
+func AddRowVec(a, bias *Value) *Value {
+	v := newNode2("addrow", nil, a, bias, func(n, g *Value) (*Value, *Value) {
+		return g, Reshape(SumAxes(g, 0), n.inputsArr[1].Data.Len())
+	})
+	v.Data = tensor.AddRowInto(v.scratch(), a.Data, bias.Data)
+	return v
 }
 
 // SumAll reduces a to a scalar of shape [1].
@@ -167,17 +343,24 @@ func Expand(scalar *Value, shape ...int) *Value {
 // differentiable operation; the VJP is the adjoint scatter Col2im.
 func Im2col(a *Value, g tensor.ConvGeom) *Value {
 	batch := a.Data.Dim(0)
-	return newNode("im2col", tensor.Im2col(a.Data, g), []*Value{a}, func(gr *Value) []*Value {
-		return []*Value{Col2im(gr, batch, g)}
+	v := newNode1("im2col", nil, a, func(n, gr *Value) *Value {
+		return Col2im(gr, batch, g)
 	})
+	v.Data = tensor.Im2colInto(v.scratch(), a.Data, g)
+	return v
 }
 
 // Col2im scatter-adds patches back into an NHWC tensor (adjoint of Im2col).
 func Col2im(cols *Value, batch int, g tensor.ConvGeom) *Value {
-	return newNode("col2im", tensor.Col2im(cols.Data, batch, g), []*Value{cols}, func(gr *Value) []*Value {
-		return []*Value{Im2col(gr, g)}
+	v := newNode1("col2im", nil, cols, func(n, gr *Value) *Value {
+		return Im2col(gr, g)
 	})
+	v.Data = tensor.Col2imInto(v.scratch(), cols.Data, batch, g)
+	return v
 }
 
 // Dot returns ⟨a, b⟩ as a scalar node of shape [1].
-func Dot(a, b *Value) *Value { return SumAll(Mul(a, b)) }
+func Dot(a, b *Value) *Value {
+	n := a.Data.Len()
+	return Reshape(MulSum(Reshape(a, 1, n), Reshape(b, 1, n), 1), 1)
+}

@@ -17,16 +17,38 @@ import (
 
 // Value is a node in the computation graph: an eagerly computed tensor plus
 // the recipe to backpropagate through the operation that produced it.
+//
+// Nodes with one or two inputs — every primitive except ConcatRows — store
+// them in the inline inputsArr and return their input gradients as plain
+// multiple return values. VJP functions receive the node itself, so they
+// read their operands from it instead of capturing them: almost every
+// primitive's VJP is a non-capturing func literal, which Go places in
+// static storage. Building and backpropagating a node therefore costs one
+// allocation for the Value and whatever the eager kernel allocates.
 type Value struct {
 	// Data holds the node's computed tensor. It must not be mutated after
 	// the node participates in a graph.
 	Data *tensor.Tensor
 
-	op           string
-	inputs       []*Value
-	vjp          func(g *Value) []*Value
+	op     string
+	inputs []*Value
+	vjp1   func(n, g *Value) *Value
+	vjp2   func(n, g *Value) (*Value, *Value)
+	vjpN   func(n, g *Value) []*Value
+	// c holds the scalar constant of constant-parameterized ops (Scale,
+	// PowConst, AddConst), letting their VJPs stay non-capturing.
+	c            float64
 	requiresGrad bool
+	inputsArr    [2]*Value
+	// dataInline is the storage for Data on interior nodes: ops pass
+	// &dataInline as the destination header to the Into kernels (or the
+	// view constructors), so node + tensor header are one allocation.
+	dataInline tensor.Tensor
 }
+
+// scratch returns the node's inline tensor header for an op to compute its
+// result into. Valid only before the node's Data is set.
+func (v *Value) scratch() *tensor.Tensor { return &v.dataInline }
 
 // Const wraps a tensor as a constant leaf (no gradient flows into it).
 func Const(t *tensor.Tensor) *Value {
@@ -60,9 +82,39 @@ func (v *Value) Item() float64 {
 	return v.Data.Data()[0]
 }
 
-// newNode constructs an interior node. requiresGrad is inherited from any
-// differentiable input.
-func newNode(op string, data *tensor.Tensor, inputs []*Value, vjp func(g *Value) []*Value) *Value {
+// newNode1 constructs a one-input interior node. requiresGrad is inherited
+// from the input; constant subgraphs collapse to leaves so the backward
+// traversal never visits them.
+func newNode1(op string, data *tensor.Tensor, a *Value, vjp func(n, g *Value) *Value) *Value {
+	if !a.requiresGrad {
+		return &Value{Data: data, op: op}
+	}
+	v := &Value{Data: data, op: op, vjp1: vjp, requiresGrad: true}
+	v.inputsArr[0] = a
+	v.inputs = v.inputsArr[:1]
+	return v
+}
+
+// newNode1c is newNode1 for ops parameterized by a scalar constant.
+func newNode1c(op string, data *tensor.Tensor, a *Value, c float64, vjp func(n, g *Value) *Value) *Value {
+	v := newNode1(op, data, a, vjp)
+	v.c = c
+	return v
+}
+
+// newNode2 constructs a two-input interior node; see newNode1.
+func newNode2(op string, data *tensor.Tensor, a, b *Value, vjp func(n, g *Value) (*Value, *Value)) *Value {
+	if !a.requiresGrad && !b.requiresGrad {
+		return &Value{Data: data, op: op}
+	}
+	v := &Value{Data: data, op: op, vjp2: vjp, requiresGrad: true}
+	v.inputsArr[0], v.inputsArr[1] = a, b
+	v.inputs = v.inputsArr[:2]
+	return v
+}
+
+// newNodeN constructs a variadic-input interior node (ConcatRows).
+func newNodeN(op string, data *tensor.Tensor, inputs []*Value, vjp func(n, g *Value) []*Value) *Value {
 	rg := false
 	for _, in := range inputs {
 		if in.requiresGrad {
@@ -71,11 +123,9 @@ func newNode(op string, data *tensor.Tensor, inputs []*Value, vjp func(g *Value)
 		}
 	}
 	if !rg {
-		// No gradient can flow through: collapse to a constant so the
-		// backward traversal never visits this subgraph.
 		return &Value{Data: data, op: op}
 	}
-	return &Value{Data: data, op: op, inputs: inputs, vjp: vjp, requiresGrad: true}
+	return &Value{Data: data, op: op, inputs: inputs, vjpN: vjp, requiresGrad: true}
 }
 
 // Grad computes ∂out/∂wrt[i] for a scalar-valued out. The returned values
@@ -89,7 +139,7 @@ func Grad(out *Value, wrt []*Value) ([]*Value, error) {
 	if !out.requiresGrad {
 		zs := make([]*Value, len(wrt))
 		for i, w := range wrt {
-			zs[i] = Const(tensor.New(w.Data.Shape()...))
+			zs[i] = Const(tensor.NewLike(w.Data))
 		}
 		return zs, nil
 	}
@@ -105,26 +155,31 @@ func Grad(out *Value, wrt []*Value) ([]*Value, error) {
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		g, ok := grads[n]
-		if !ok || n.vjp == nil {
+		if !ok {
 			continue
 		}
-		inGrads := n.vjp(g)
-		if len(inGrads) != len(n.inputs) {
-			return nil, fmt.Errorf("autodiff: op %q returned %d gradients for %d inputs", n.op, len(inGrads), len(n.inputs))
+		var err error
+		switch {
+		case n.vjp1 != nil:
+			err = accumulate(grads, n, n.inputs[0], n.vjp1(n, g))
+		case n.vjp2 != nil:
+			ga, gb := n.vjp2(n, g)
+			if err = accumulate(grads, n, n.inputs[0], ga); err == nil {
+				err = accumulate(grads, n, n.inputs[1], gb)
+			}
+		case n.vjpN != nil:
+			inGrads := n.vjpN(n, g)
+			if len(inGrads) != len(n.inputs) {
+				return nil, fmt.Errorf("autodiff: op %q returned %d gradients for %d inputs", n.op, len(inGrads), len(n.inputs))
+			}
+			for j, in := range n.inputs {
+				if err = accumulate(grads, n, in, inGrads[j]); err != nil {
+					break
+				}
+			}
 		}
-		for j, in := range n.inputs {
-			ig := inGrads[j]
-			if ig == nil || !in.requiresGrad {
-				continue
-			}
-			if !ig.Data.SameShape(in.Data) {
-				return nil, fmt.Errorf("autodiff: op %q produced gradient shape %v for input shape %v", n.op, ig.Data.Shape(), in.Data.Shape())
-			}
-			if acc, ok := grads[in]; ok {
-				grads[in] = Add(acc, ig)
-			} else {
-				grads[in] = ig
-			}
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -133,10 +188,27 @@ func Grad(out *Value, wrt []*Value) ([]*Value, error) {
 		if g, ok := grads[w]; ok {
 			res[i] = g
 		} else {
-			res[i] = Const(tensor.New(w.Data.Shape()...))
+			res[i] = Const(tensor.NewLike(w.Data))
 		}
 	}
 	return res, nil
+}
+
+// accumulate folds one input gradient into the running per-node gradient
+// map, validating its shape against the input.
+func accumulate(grads map[*Value]*Value, n, in *Value, ig *Value) error {
+	if ig == nil || !in.requiresGrad {
+		return nil
+	}
+	if !ig.Data.SameShape(in.Data) {
+		return fmt.Errorf("autodiff: op %q produced gradient shape %v for input shape %v", n.op, ig.Data.Shape(), in.Data.Shape())
+	}
+	if acc, ok := grads[in]; ok {
+		grads[in] = Add(acc, ig)
+	} else {
+		grads[in] = ig
+	}
+	return nil
 }
 
 // MustGrad is Grad but panics on error; convenient inside training loops

@@ -126,7 +126,7 @@ func (f *FedEraser) calibratedRound(recorded map[int][]*tensor.Tensor, retain []
 	global := f.model.CloneParams()
 	agg := make([]*tensor.Tensor, len(global))
 	for i, g := range global {
-		agg[i] = tensor.New(g.Shape()...)
+		agg[i] = tensor.NewLike(g)
 	}
 	totalWeight := 0.0
 	for clientID, delta := range recorded {

@@ -122,14 +122,13 @@ func (f *FUMP) pruneClassChannels(target int) (int, error) {
 		x, _ := pool.SampleBatch(f.rng, f.ProbeBatch)
 		probed += x.Dim(0)
 		act := f.model.ForwardLayers(x, actLayer) // [B, H, W, F]
-		sh := act.Shape()
-		per := sh[1] * sh[2]
+		per := act.Dim(1) * act.Dim(2)
 		d := act.Data()
 		for i := 0; i < len(d); i++ {
 			mean[c][i%filters] += d[i]
 		}
 		for fi := 0; fi < filters; fi++ {
-			mean[c][fi] /= float64(sh[0] * per)
+			mean[c][fi] /= float64(act.Dim(0) * per)
 		}
 	}
 

@@ -29,11 +29,10 @@ func HorizontalFlip(p float64) Transform {
 		if rng.Float64() >= p {
 			return x.Clone()
 		}
-		sh := x.Shape()
-		if len(sh) != 3 {
-			panic(fmt.Sprintf("data: HorizontalFlip expects [H,W,C], got %v", sh))
+		if x.Dims() != 3 {
+			panic(fmt.Sprintf("data: HorizontalFlip expects [H,W,C], got %v", x.Shape()))
 		}
-		h, w, c := sh[0], sh[1], sh[2]
+		h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
 		out := tensor.New(h, w, c)
 		for y := 0; y < h; y++ {
 			for xx := 0; xx < w; xx++ {
@@ -50,13 +49,12 @@ func HorizontalFlip(p float64) Transform {
 // pixels in each direction, zero-padding the exposed border.
 func RandomShift(maxShift int) Transform {
 	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
-		sh := x.Shape()
-		if len(sh) != 3 {
-			panic(fmt.Sprintf("data: RandomShift expects [H,W,C], got %v", sh))
+		if x.Dims() != 3 {
+			panic(fmt.Sprintf("data: RandomShift expects [H,W,C], got %v", x.Shape()))
 		}
 		dy := rng.Intn(2*maxShift+1) - maxShift
 		dx := rng.Intn(2*maxShift+1) - maxShift
-		h, w, c := sh[0], sh[1], sh[2]
+		h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
 		out := tensor.New(h, w, c)
 		for y := 0; y < h; y++ {
 			sy := y - dy

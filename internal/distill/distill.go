@@ -108,9 +108,11 @@ func MatchDistance(gS, gD []*ad.Value, eps float64) *ad.Value {
 			d = ad.Reshape(d, n, 1)
 		}
 		cols := s.Data.Dim(1)
-		dot := ad.SumAxes(ad.Mul(s, d), 0) // [1, C]
-		nS := ad.SumAxes(ad.Mul(s, s), 0)  // [1, C]
-		nD := ad.SumAxes(ad.Mul(d, d), 0)  // [1, C]
+		// Column-wise dot products in one fused reduction each: the
+		// gradient-sized products s⊙d, s⊙s, d⊙d are never materialized.
+		dot := ad.MulSum(s, d, 0) // [1, C]
+		nS := ad.MulSum(s, s, 0)  // [1, C]
+		nD := ad.MulSum(d, d, 0)  // [1, C]
 		den := ad.AddConst(ad.Sqrt(ad.Mul(nS, nD)), eps)
 		cos := ad.Div(dot, den)
 		total = ad.Add(total, ad.Sub(ad.Scalar(float64(cols)), ad.SumAll(cos)))
@@ -233,13 +235,28 @@ func (m *Matcher) matchClass(ctx fl.StepContext, syn *data.Dataset, realIdx, syn
 		return
 	}
 	model := ctx.Model
+
+	// Per-step scratch comes from the tensor pool and is reused across all
+	// ς_S iterations: the detached real-gradient buffers and the pixel
+	// update buffer. Each iteration's matching graph dies before the next
+	// CopyFrom, so reusing the buffers never mutates a live graph.
+	gDBufs := make([]*tensor.Tensor, len(model.Params()))
+	for i, p := range model.Params() {
+		gDBufs[i] = tensor.GetLike(p.Data)
+	}
+	gD := make([]*ad.Value, len(gDBufs))
+	var updated *tensor.Tensor
+	defer func() {
+		tensor.PutAll(gDBufs)
+		tensor.Put(updated)
+	}()
+
 	for step := 0; step < m.Cfg.Steps; step++ {
 		boundD := model.Bind()
 		lossD := nn.CrossEntropy(boundD.Forward(ad.Const(xD)), nn.OneHot(yD, model.Classes))
 		gDVals := ad.MustGrad(lossD, boundD.ParamVars())
-		gD := make([]*ad.Value, len(gDVals))
 		for i, g := range gDVals {
-			gD[i] = ad.Detach(g)
+			gD[i] = ad.Const(gDBufs[i].CopyFrom(g.Data))
 		}
 		m.Counter.AddBatch(len(batch))
 
@@ -255,7 +272,10 @@ func (m *Matcher) matchClass(ctx fl.StepContext, syn *data.Dataset, realIdx, syn
 		gradS := ad.MustGrad(dist, []*ad.Value{sVar})[0]
 
 		// SGD step on the synthetic pixels, written back per sample.
-		updated := xS.Clone().AxpyInPlace(-m.Cfg.LR, gradS.Data)
+		if updated == nil {
+			updated = tensor.GetLike(xS)
+		}
+		tensor.AddScaledInto(updated, xS, -m.Cfg.LR, gradS.Data)
 		per := syn.H * syn.W * syn.C
 		for bi, si := range synIdx {
 			copy(syn.X[si].Data(), updated.Data()[bi*per:(bi+1)*per])
@@ -269,6 +289,8 @@ func (m *Matcher) matchClass(ctx fl.StepContext, syn *data.Dataset, realIdx, syn
 func (m *Matcher) matchDistribution(ctx fl.StepContext, syn *data.Dataset, synIdx []int, xD *tensor.Tensor, realCount int) {
 	model := ctx.Model
 	embLayer := model.BindFrozen().NumLayers() - 1 // stop before the classifier
+	var updated *tensor.Tensor
+	defer func() { tensor.Put(updated) }()
 	for step := 0; step < m.Cfg.Steps; step++ {
 		embD := flatten2D(model.BindFrozen().ForwardUpTo(ad.Const(xD), embLayer))
 		m.Counter.AddBatch(realCount)
@@ -280,7 +302,10 @@ func (m *Matcher) matchDistribution(ctx fl.StepContext, syn *data.Dataset, synId
 
 		dist := distributionDistance(embS, ad.Detach(embD))
 		gradS := ad.MustGrad(dist, []*ad.Value{sVar})[0]
-		updated := xS.Clone().AxpyInPlace(-m.Cfg.LR, gradS.Data)
+		if updated == nil {
+			updated = tensor.GetLike(xS)
+		}
+		tensor.AddScaledInto(updated, xS, -m.Cfg.LR, gradS.Data)
 		per := syn.H * syn.W * syn.C
 		for bi, si := range synIdx {
 			copy(syn.X[si].Data(), updated.Data()[bi*per:(bi+1)*per])
@@ -290,12 +315,8 @@ func (m *Matcher) matchDistribution(ctx fl.StepContext, syn *data.Dataset, synId
 
 // flatten2D reshapes an activation to [B, rest].
 func flatten2D(v *ad.Value) *ad.Value {
-	sh := v.Data.Shape()
-	rest := 1
-	for _, d := range sh[1:] {
-		rest *= d
-	}
-	return ad.Reshape(v, sh[0], rest)
+	batch := v.Data.Dim(0)
+	return ad.Reshape(v, batch, v.Data.Len()/batch)
 }
 
 // StorageOverhead returns the synthetic-to-original volume ratio across

@@ -120,12 +120,20 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 		clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
 
+	// Snapshot and aggregation buffers are allocated once and reused
+	// across rounds: parameter shapes never change mid-phase.
+	global := model.CloneParams()
+	agg := zerosLike(global)
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := selectClients(eligible, cfg.Participation, rng)
 		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
 
-		global := model.CloneParams()
-		agg := zerosLike(global)
+		for i, p := range model.ParamTensors() {
+			global[i].CopyFrom(p)
+		}
+		for _, t := range agg {
+			t.Zero()
+		}
 		totalWeight := 0.0
 		for _, ci := range selected {
 			model.SetParams(global)
@@ -172,13 +180,13 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 // local model.
 func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round, clientID int, rng *rand.Rand) {
 	opt := &optim.SGD{LR: cfg.LR, Dir: cfg.Dir}
+	gt := make([]*tensor.Tensor, len(model.Params()))
 	for step := 0; step < cfg.LocalSteps; step++ {
 		idx := sampleIndices(rng, client.Len(), cfg.BatchSize)
 		x, labels := client.Batch(idx)
 		bound := model.Bind()
 		loss := nn.CrossEntropy(bound.Forward(ad.Const(x)), nn.OneHot(labels, model.Classes))
 		grads := ad.MustGrad(loss, bound.ParamVars())
-		gt := make([]*tensor.Tensor, len(grads))
 		for i, g := range grads {
 			gt[i] = g.Data
 		}
@@ -233,7 +241,7 @@ func cloneAll(ts []*tensor.Tensor) []*tensor.Tensor {
 func zerosLike(ts []*tensor.Tensor) []*tensor.Tensor {
 	out := make([]*tensor.Tensor, len(ts))
 	for i, t := range ts {
-		out[i] = tensor.New(t.Shape()...)
+		out[i] = tensor.NewLike(t)
 	}
 	return out
 }

@@ -133,11 +133,10 @@ func TopKAccuracy(logits *tensor.Tensor, labels []int, k int) float64 {
 	if len(labels) == 0 || k < 1 {
 		return 0
 	}
-	sh := logits.Shape()
-	if len(sh) != 2 || sh[0] != len(labels) {
-		panic(fmt.Sprintf("nn: TopKAccuracy logits %v vs %d labels", sh, len(labels)))
+	if logits.Dims() != 2 || logits.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("nn: TopKAccuracy logits %v vs %d labels", logits.Shape(), len(labels)))
 	}
-	classes := sh[1]
+	classes := logits.Dim(1)
 	if k > classes {
 		k = classes
 	}

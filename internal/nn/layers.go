@@ -43,11 +43,8 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
 // [B, OH, OW, F].
 func (c *Conv2D) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
 	b := x.Data.Dim(0)
-	cols := ad.Im2col(x, c.Geom) // [B*OH*OW, K*K*C]
-	y := ad.MatMul(cols, ps[0])  // [B*OH*OW, F]
-	rows := y.Data.Dim(0)
-	bias := ad.BroadcastTo(ad.Reshape(ps[1], 1, c.Filters), rows, c.Filters)
-	y = ad.Add(y, bias)
+	cols := ad.Im2col(x, c.Geom)                     // [B*OH*OW, K*K*C]
+	y := ad.AddRowVec(ad.MatMul(cols, ps[0]), ps[1]) // [B*OH*OW, F]
 	return ad.Reshape(y, b, c.Geom.OutH(), c.Geom.OutW(), c.Filters)
 }
 
@@ -76,21 +73,22 @@ func (n *InstanceNorm) Name() string { return "instancenorm" }
 // Params implements Layer.
 func (n *InstanceNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }
 
-// Forward implements Layer. x has shape [B, H, W, C].
+// Forward implements Layer. x has shape [B, H, W, C]. Every per-sample
+// statistic stays at its reduced shape [B,1,1,C] and is combined through
+// the fused broadcast primitives, so the forward (and its arbitrarily
+// nested backward graphs) never materialize a broadcast feature map.
 func (n *InstanceNorm) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
-	sh := x.Data.Shape()
-	if len(sh) != 4 || sh[3] != n.Channels {
-		panic(fmt.Sprintf("nn: InstanceNorm expects [B,H,W,%d], got %v", n.Channels, sh))
+	if x.Data.Dims() != 4 || x.Data.Dim(3) != n.Channels {
+		panic(fmt.Sprintf("nn: InstanceNorm expects [B,H,W,%d], got %v", n.Channels, x.Data.Shape()))
 	}
-	area := float64(sh[1] * sh[2])
-	mean := ad.Scale(ad.SumAxes(x, 1, 2), 1/area)      // [B,1,1,C]
-	centered := ad.Sub(x, ad.BroadcastTo(mean, sh...)) // [B,H,W,C]
-	variance := ad.Scale(ad.SumAxes(ad.Mul(centered, centered), 1, 2), 1/area)
+	area := float64(x.Data.Dim(1) * x.Data.Dim(2))
+	mean := ad.Scale(ad.SumAxes(x, 1, 2), 1/area) // [B,1,1,C]
+	centered := ad.SubBcast(x, mean)              // [B,H,W,C]
+	variance := ad.Scale(ad.MulSum(centered, centered, 1, 2), 1/area)
 	inv := ad.PowConst(ad.AddConst(variance, n.Eps), -0.5) // [B,1,1,C]
-	xhat := ad.Mul(centered, ad.BroadcastTo(inv, sh...))
-	gamma := ad.BroadcastTo(ad.Reshape(ps[0], 1, 1, 1, n.Channels), sh...)
-	beta := ad.BroadcastTo(ad.Reshape(ps[1], 1, 1, 1, n.Channels), sh...)
-	return ad.Add(ad.Mul(xhat, gamma), beta)
+	xhat := ad.MulBcast(centered, inv)
+	scaled := ad.MulBcast(xhat, ad.Reshape(ps[0], 1, 1, 1, n.Channels))
+	return ad.AddBcast(scaled, ad.Reshape(ps[1], 1, 1, 1, n.Channels))
 }
 
 // ReLULayer applies the rectifier elementwise.
@@ -150,12 +148,11 @@ func (Flatten) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (Flatten) Forward(x *ad.Value, _ []*ad.Value) *ad.Value {
-	sh := x.Data.Shape()
 	rest := 1
-	for _, d := range sh[1:] {
-		rest *= d
+	for i := 1; i < x.Data.Dims(); i++ {
+		rest *= x.Data.Dim(i)
 	}
-	return ad.Reshape(x, sh[0], rest)
+	return ad.Reshape(x, x.Data.Dim(0), rest)
 }
 
 // Dense is a fully connected layer: y = x·W + b.
@@ -183,7 +180,5 @@ func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 
 // Forward implements Layer. x has shape [B, In].
 func (d *Dense) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
-	y := ad.MatMul(x, ps[0])
-	b := ad.BroadcastTo(ad.Reshape(ps[1], 1, d.Out), y.Data.Dim(0), d.Out)
-	return ad.Add(y, b)
+	return ad.AddRowVec(ad.MatMul(x, ps[0]), ps[1])
 }

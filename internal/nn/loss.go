@@ -24,11 +24,10 @@ func OneHot(labels []int, classes int) *tensor.Tensor {
 // [B, C] and a one-hot target matrix of the same shape, as a scalar node.
 // The log-sum-exp is stabilized by subtracting the detached row-wise max.
 func CrossEntropy(logits *ad.Value, oneHot *tensor.Tensor) *ad.Value {
-	sh := logits.Data.Shape()
-	if len(sh) != 2 || !oneHot.SameShape(logits.Data) {
-		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs targets %v", sh, oneHot.Shape()))
+	if logits.Data.Dims() != 2 || !oneHot.SameShape(logits.Data) {
+		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs targets %v", logits.Data.Shape(), oneHot.Shape()))
 	}
-	b, c := sh[0], sh[1]
+	b, c := logits.Data.Dim(0), logits.Data.Dim(1)
 
 	// Row-wise max as a constant: shifting by a constant leaves both the
 	// loss value and its gradients unchanged, so detaching is exact.
@@ -43,23 +42,23 @@ func CrossEntropy(logits *ad.Value, oneHot *tensor.Tensor) *ad.Value {
 		}
 		maxes.Set(m, i, 0)
 	}
-	shifted := ad.Sub(logits, ad.BroadcastTo(ad.Const(maxes), b, c))
+	shifted := ad.SubBcast(logits, ad.Const(maxes))
 
 	// lse_i = log Σ_j exp(z_ij), shape [B,1].
 	lse := ad.Log(ad.SumAxes(ad.Exp(shifted), 1))
-	// picked_i = Σ_j z_ij · onehot_ij, shape [B,1].
-	picked := ad.SumAxes(ad.Mul(shifted, ad.Const(oneHot)), 1)
+	// picked_i = Σ_j z_ij · onehot_ij, shape [B,1], with the product
+	// reduced in one fused pass.
+	picked := ad.MulSum(shifted, ad.Const(oneHot), 1)
 	perSample := ad.Sub(lse, picked)
 	return ad.Scale(ad.SumAll(perSample), 1/float64(b))
 }
 
 // Softmax returns row-wise softmax probabilities for a logits tensor.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
-	sh := logits.Shape()
-	if len(sh) != 2 {
-		panic(fmt.Sprintf("nn: Softmax expects a matrix, got %v", sh))
+	if logits.Dims() != 2 {
+		panic(fmt.Sprintf("nn: Softmax expects a matrix, got %v", logits.Shape()))
 	}
-	b, c := sh[0], sh[1]
+	b, c := logits.Dim(0), logits.Dim(1)
 	out := logits.Clone()
 	d := out.Data()
 	for i := 0; i < b; i++ {

@@ -29,7 +29,7 @@ func (m *Momentum) Step(params, grads []*tensor.Tensor) {
 	if m.velocity == nil {
 		m.velocity = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
-			m.velocity[i] = tensor.New(p.Shape()...)
+			m.velocity[i] = tensor.NewLike(p)
 		}
 	}
 	alpha := -m.LR
@@ -37,7 +37,7 @@ func (m *Momentum) Step(params, grads []*tensor.Tensor) {
 		alpha = m.LR
 	}
 	for i, p := range params {
-		m.velocity[i].ScaleInPlace(m.Mu).AddInPlace(grads[i])
+		m.velocity[i].ScaleAddInPlace(m.Mu, grads[i])
 		p.AxpyInPlace(alpha, m.velocity[i])
 	}
 	m.Steps++
@@ -68,8 +68,8 @@ func (a *Adam) Step(params, grads []*tensor.Tensor) {
 		a.m1 = make([]*tensor.Tensor, len(params))
 		a.m2 = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
-			a.m1[i] = tensor.New(p.Shape()...)
-			a.m2[i] = tensor.New(p.Shape()...)
+			a.m1[i] = tensor.NewLike(p)
+			a.m2[i] = tensor.NewLike(p)
 		}
 	}
 	a.Steps++

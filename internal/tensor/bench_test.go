@@ -1,0 +1,130 @@
+package tensor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	ad "quickdrop/internal/autodiff"
+	"quickdrop/internal/data"
+	"quickdrop/internal/distill"
+	"quickdrop/internal/fl"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/tensor"
+)
+
+// The micro-benchmarks below guard the allocation behaviour of the compute
+// backbone: run with `go test -bench=. -benchmem ./internal/tensor` and
+// compare allocs/op across changes. BenchmarkGradientMatchingStep is the
+// acceptance metric for the destination-passing refactor.
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 64, 96)
+	y := tensor.Randn(rng, 1, 96, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MatMul(y)
+	}
+}
+
+// BenchmarkMatMulInto is the destination-passing counterpart: with a
+// reused destination the steady state allocates nothing.
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 64, 96)
+	y := tensor.Randn(rng, 1, 96, 48)
+	dst := tensor.New(64, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkMatMulParallel is large enough to clear the row-sharding
+// threshold, exercising the GOMAXPROCS-parallel kernel.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 128, 128)
+	y := tensor.Randn(rng, 1, 128, 128)
+	dst := tensor.New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, y)
+	}
+}
+
+func benchGeom() tensor.ConvGeom {
+	return tensor.ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 16, InW: 16, Channel: 8}
+}
+
+func BenchmarkIm2col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := benchGeom()
+	x := tensor.Randn(rng, 1, 8, g.InH, g.InW, g.Channel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.Im2col(x, g)
+	}
+}
+
+// BenchmarkIm2colInto reuses one patch-matrix buffer across extractions.
+func BenchmarkIm2colInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := benchGeom()
+	x := tensor.Randn(rng, 1, 8, g.InH, g.InW, g.Channel)
+	dst := tensor.New(8*g.OutH()*g.OutW(), g.Kernel*g.Kernel*g.Channel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.Im2colInto(dst, x, g)
+	}
+}
+
+// BenchmarkConv2DForwardBackward measures one forward pass plus a full
+// first-order backward through a small ConvNet (the inner loop of both FL
+// training and gradient matching).
+func BenchmarkConv2DForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewConvNet(nn.ConvNetConfig{
+		InputH: 8, InputW: 8, InputC: 3, Classes: 4, Width: 8, Depth: 2,
+	}, rng)
+	x := tensor.Randn(rng, 1, 4, 8, 8, 3)
+	oneHot := nn.OneHot([]int{0, 1, 2, 3}, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bound := model.Bind()
+		loss := nn.CrossEntropy(bound.Forward(ad.Const(x)), oneHot)
+		_ = ad.MustGrad(loss, bound.ParamVars())
+	}
+}
+
+// BenchmarkGradientMatchingStep measures one full in-situ distillation
+// update: real gradient, synthetic gradient with create-graph, grouped
+// cosine distance, and the second-order gradient w.r.t. the pixels.
+func BenchmarkGradientMatchingStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	spec := data.Spec{Name: "bench", H: 8, W: 8, C: 3, Classes: 4,
+		TrainPerClass: 8, TestPerClass: 0, Noise: 0.3, Jitter: 1}
+	ds, _ := data.Generate(spec, 7)
+	model := nn.NewConvNet(nn.ConvNetConfig{
+		InputH: 8, InputW: 8, InputC: ds.C, Classes: 4, Width: 8, Depth: 2,
+	}, rng)
+	cfg := distill.DefaultConfig()
+	cfg.Scale = 8
+	cfg.RealBatch = 4
+	m := distill.NewMatcher(cfg, []*data.Dataset{ds}, rng)
+	ctx := fl.StepContext{
+		Round: 0, Step: 0, ClientID: 0,
+		Model: model, Client: ds, Rng: rng,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchStep(ctx)
+	}
+}

@@ -34,43 +34,54 @@ func (g ConvGeom) Validate() error {
 // lays them out as a matrix of shape [B*OH*OW, K*K*C]. Row r corresponds to
 // output position (b, oh, ow) in row-major order; within a row, elements are
 // ordered (kh, kw, c). Out-of-bounds positions (from padding) contribute 0.
-func Im2col(x *Tensor, g ConvGeom) *Tensor {
+func Im2col(x *Tensor, g ConvGeom) *Tensor { return Im2colInto(nil, x, g) }
+
+// Im2colInto is the destination-passing form of Im2col. dst must not alias
+// x; a nil dst allocates. Large extractions shard their patch rows across
+// GOMAXPROCS goroutines — each row is written by exactly one worker, so
+// the result is identical to the sequential extraction.
+func Im2colInto(dst, x *Tensor, g ConvGeom) *Tensor {
 	if err := g.Validate(); err != nil {
 		panic(err.Error())
 	}
-	sh := x.Shape()
-	if len(sh) != 4 || sh[1] != g.InH || sh[2] != g.InW || sh[3] != g.Channel {
-		panic(fmt.Sprintf("tensor: Im2col input %v does not match geometry %+v", sh, g))
+	if x.Dims() != 4 || x.Dim(1) != g.InH || x.Dim(2) != g.InW || x.Dim(3) != g.Channel {
+		panic(fmt.Sprintf("tensor: Im2col input %v does not match geometry %+v", x.shape, g))
 	}
-	b, oh, ow := sh[0], g.OutH(), g.OutW()
+	b, oh, ow := x.Dim(0), g.OutH(), g.OutW()
 	cols := g.Kernel * g.Kernel * g.Channel
-	out := New(b*oh*ow, cols)
-	xd, od := x.Data(), out.Data()
-	row := 0
-	for bi := 0; bi < b; bi++ {
-		base := bi * g.InH * g.InW * g.Channel
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				dst := od[row*cols : (row+1)*cols]
-				p := 0
-				for kh := 0; kh < g.Kernel; kh++ {
-					iy := oy*g.Stride + kh - g.Pad
-					for kw := 0; kw < g.Kernel; kw++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
-							p += g.Channel // padded region stays zero
-							continue
+	rows := b * oh * ow
+	dst = prepDst(dst, []int{rows, cols}, "Im2colInto")
+	mustNoAlias(dst, "Im2colInto", x)
+	xd, od := x.Data(), dst.Data()
+	shardRows(rows, rows*cols, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			bi := row / (oh * ow)
+			oy := (row / ow) % oh
+			ox := row % ow
+			base := bi * g.InH * g.InW * g.Channel
+			out := od[row*cols : (row+1)*cols]
+			p := 0
+			for kh := 0; kh < g.Kernel; kh++ {
+				iy := oy*g.Stride + kh - g.Pad
+				for kw := 0; kw < g.Kernel; kw++ {
+					ix := ox*g.Stride + kw - g.Pad
+					if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+						// Padded region: must be written explicitly because
+						// dst may be a recycled buffer.
+						for c := 0; c < g.Channel; c++ {
+							out[p+c] = 0
 						}
-						src := base + (iy*g.InW+ix)*g.Channel
-						copy(dst[p:p+g.Channel], xd[src:src+g.Channel])
 						p += g.Channel
+						continue
 					}
+					src := base + (iy*g.InW+ix)*g.Channel
+					copy(out[p:p+g.Channel], xd[src:src+g.Channel])
+					p += g.Channel
 				}
-				row++
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
 // Col2im is the adjoint of Im2col: it scatter-adds a patch matrix of shape
@@ -78,42 +89,55 @@ func Im2col(x *Tensor, g ConvGeom) *Tensor {
 // by multiple patches accumulate, making Col2im the exact transpose of the
 // linear map Im2col.
 func Col2im(cols *Tensor, batch int, g ConvGeom) *Tensor {
+	return Col2imInto(nil, cols, batch, g)
+}
+
+// Col2imInto is the destination-passing form of Col2im. dst must not alias
+// cols; a nil dst allocates. Because patches of the same image overlap, the
+// scatter-add is sharded per batch image (disjoint output regions), which
+// keeps the per-position accumulation order — and therefore the floating-
+// point result — identical to the sequential scatter.
+func Col2imInto(dst, cols *Tensor, batch int, g ConvGeom) *Tensor {
 	if err := g.Validate(); err != nil {
 		panic(err.Error())
 	}
 	oh, ow := g.OutH(), g.OutW()
 	nc := g.Kernel * g.Kernel * g.Channel
-	sh := cols.Shape()
-	if len(sh) != 2 || sh[0] != batch*oh*ow || sh[1] != nc {
-		panic(fmt.Sprintf("tensor: Col2im input %v does not match batch %d geometry %+v", sh, batch, g))
+	if cols.Dims() != 2 || cols.Dim(0) != batch*oh*ow || cols.Dim(1) != nc {
+		panic(fmt.Sprintf("tensor: Col2im input %v does not match batch %d geometry %+v", cols.shape, batch, g))
 	}
-	out := New(batch, g.InH, g.InW, g.Channel)
-	cd, od := cols.Data(), out.Data()
-	row := 0
-	for bi := 0; bi < batch; bi++ {
-		base := bi * g.InH * g.InW * g.Channel
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				src := cd[row*nc : (row+1)*nc]
-				p := 0
-				for kh := 0; kh < g.Kernel; kh++ {
-					iy := oy*g.Stride + kh - g.Pad
-					for kw := 0; kw < g.Kernel; kw++ {
-						ix := ox*g.Stride + kw - g.Pad
-						if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+	dst = prepDst(dst, []int{batch, g.InH, g.InW, g.Channel}, "Col2imInto")
+	mustNoAlias(dst, "Col2imInto", cols)
+	dst.Zero()
+	cd, od := cols.Data(), dst.Data()
+	perImage := g.InH * g.InW * g.Channel
+	shardRows(batch, batch*oh*ow*nc, func(bLo, bHi int) {
+		for bi := bLo; bi < bHi; bi++ {
+			base := bi * perImage
+			row := bi * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					src := cd[row*nc : (row+1)*nc]
+					p := 0
+					for kh := 0; kh < g.Kernel; kh++ {
+						iy := oy*g.Stride + kh - g.Pad
+						for kw := 0; kw < g.Kernel; kw++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if iy < 0 || iy >= g.InH || ix < 0 || ix >= g.InW {
+								p += g.Channel
+								continue
+							}
+							at := base + (iy*g.InW+ix)*g.Channel
+							for c := 0; c < g.Channel; c++ {
+								od[at+c] += src[p+c]
+							}
 							p += g.Channel
-							continue
 						}
-						dst := base + (iy*g.InW+ix)*g.Channel
-						for c := 0; c < g.Channel; c++ {
-							od[dst+c] += src[p+c]
-						}
-						p += g.Channel
 					}
+					row++
 				}
-				row++
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }

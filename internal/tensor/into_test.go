@@ -1,0 +1,370 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randT returns a deterministic pseudo-random tensor for kernel tests.
+func randT(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func equalTensors(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range wd {
+		if gd[i] != wd[i] {
+			t.Fatalf("%s: element %d = %g, want %g", name, i, gd[i], wd[i])
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// intoCase describes one destination-passing kernel: how to run it with an
+// arbitrary dst, which inputs dst may legally alias, and which inputs must
+// panic when aliased. The harness cross-checks the nil-dst (allocating)
+// result against a pool-provided dst and every legal aliased dst.
+type intoCase struct {
+	name     string
+	inputs   []*Tensor
+	run      func(dst *Tensor, in []*Tensor) *Tensor
+	aliasOK  []int // indices of inputs dst may alias (same element count)
+	aliasBad []int // indices of inputs that must panic when dst aliases them
+}
+
+func runIntoCases(t *testing.T, cases []intoCase) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Reference: allocating form (nil dst).
+			want := c.run(nil, c.inputs)
+
+			// Pooled dst: borrow a buffer of the result's element count but a
+			// different (flat) shape; the kernel must adopt the result shape.
+			pooled := Get(want.Len())
+			got := c.run(pooled, c.inputs)
+			if got != pooled {
+				t.Fatalf("kernel did not return its destination")
+			}
+			equalTensors(t, "pooled dst", got, want)
+			Put(pooled)
+
+			// Zero-header dst (the autodiff inline-node path): storage is
+			// allocated on demand.
+			var hdr Tensor
+			equalTensors(t, "zero-header dst", c.run(&hdr, c.inputs), want)
+
+			// Legal aliasing: dst sharing an input's storage must still
+			// produce the reference result.
+			for _, idx := range c.aliasOK {
+				in := make([]*Tensor, len(c.inputs))
+				for i, v := range c.inputs {
+					in[i] = v.Clone()
+				}
+				equalTensors(t, "aliased dst", c.run(in[idx], in), want)
+			}
+
+			// Illegal aliasing: kernels that read after writing must detect
+			// a shared destination and panic rather than corrupt.
+			for _, idx := range c.aliasBad {
+				in := make([]*Tensor, len(c.inputs))
+				for i, v := range c.inputs {
+					in[i] = v.Clone()
+				}
+				if in[idx].Len() != want.Len() {
+					continue // cannot alias buffers of different size
+				}
+				mustPanic(t, "alias detection", func() { c.run(in[idx].View(want.Shape()...), in) })
+			}
+		})
+	}
+}
+
+func TestIntoKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randT(rng, 4, 6)
+	b := randT(rng, 4, 6)
+	row := randT(rng, 6)
+	sq := randT(rng, 5, 5)
+	full := randT(rng, 3, 4, 4, 2)  // [B,H,W,C]
+	chans := randT(rng, 1, 1, 1, 2) // broadcast over all but channels
+	batch := randT(rng, 3, 1, 1, 1) // broadcast over all but batch
+	pos := ApplyInto(nil, randT(rng, 4, 6), math.Abs)
+
+	cases := []intoCase{
+		{
+			name:   "AddInto",
+			inputs: []*Tensor{a, b},
+			run:    func(d *Tensor, in []*Tensor) *Tensor { return AddInto(d, in[0], in[1]) },
+			aliasOK: []int{
+				0, 1,
+			},
+		},
+		{
+			name:    "SubInto",
+			inputs:  []*Tensor{a, b},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return SubInto(d, in[0], in[1]) },
+			aliasOK: []int{0, 1},
+		},
+		{
+			name:    "MulInto",
+			inputs:  []*Tensor{a, b},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return MulInto(d, in[0], in[1]) },
+			aliasOK: []int{0, 1},
+		},
+		{
+			name:    "ScaleInto",
+			inputs:  []*Tensor{a},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return ScaleInto(d, in[0], -2.5) },
+			aliasOK: []int{0},
+		},
+		{
+			name:    "AddScaledInto",
+			inputs:  []*Tensor{a, b},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return AddScaledInto(d, in[0], 0.75, in[1]) },
+			aliasOK: []int{0, 1},
+		},
+		{
+			name:    "ApplyInto",
+			inputs:  []*Tensor{a},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return ApplyInto(d, in[0], math.Exp) },
+			aliasOK: []int{0},
+		},
+		{
+			name:    "AddConstInto",
+			inputs:  []*Tensor{a},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return AddConstInto(d, in[0], 3.25) },
+			aliasOK: []int{0},
+		},
+		{
+			name:    "PowInto",
+			inputs:  []*Tensor{pos},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return PowInto(d, in[0], 0.5) },
+			aliasOK: []int{0},
+		},
+		{
+			name:    "AddRowInto",
+			inputs:  []*Tensor{a, row},
+			run:     func(d *Tensor, in []*Tensor) *Tensor { return AddRowInto(d, in[0], in[1]) },
+			aliasOK: []int{0},
+		},
+		{
+			name:     "TransposeInto",
+			inputs:   []*Tensor{sq},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return TransposeInto(d, in[0]) },
+			aliasBad: []int{0},
+		},
+		{
+			name:     "SumAxesInto",
+			inputs:   []*Tensor{full},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return SumAxesInto(d, in[0], 1, 2) },
+			aliasBad: []int{0},
+		},
+		{
+			name:     "SumLikeInto",
+			inputs:   []*Tensor{full, chans},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return SumLikeInto(d, in[0], in[1]) },
+			aliasBad: []int{0},
+		},
+		{
+			name:     "BroadcastToInto",
+			inputs:   []*Tensor{chans},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return BroadcastToInto(d, in[0], 3, 4, 4, 2) },
+			aliasBad: []int{0},
+		},
+		{
+			name:     "BroadcastLikeInto",
+			inputs:   []*Tensor{batch, full},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return BroadcastLikeInto(d, in[0], in[1]) },
+			aliasBad: []int{0},
+		},
+		{
+			name:     "AddBcastInto",
+			inputs:   []*Tensor{full, chans},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return AddBcastInto(d, in[0], in[1]) },
+			aliasOK:  []int{0},
+			aliasBad: []int{1},
+		},
+		{
+			name:     "SubBcastInto",
+			inputs:   []*Tensor{full, batch},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return SubBcastInto(d, in[0], in[1]) },
+			aliasOK:  []int{0},
+			aliasBad: []int{1},
+		},
+		{
+			name:     "MulBcastInto",
+			inputs:   []*Tensor{full, chans},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MulBcastInto(d, in[0], in[1]) },
+			aliasOK:  []int{0},
+			aliasBad: []int{1},
+		},
+		{
+			name:     "MulSumInto",
+			inputs:   []*Tensor{full, full.Clone()},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MulSumInto(d, in[0], in[1], 1, 2) },
+			aliasBad: []int{0, 1},
+		},
+		{
+			name:     "MulSumLikeInto",
+			inputs:   []*Tensor{full, full.Clone(), batch},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MulSumLikeInto(d, in[0], in[1], in[2]) },
+			aliasBad: []int{0, 1},
+		},
+		{
+			// Square operands so the result matches the input element count
+			// and the alias-detection branch actually executes.
+			name:     "MatMulInto",
+			inputs:   []*Tensor{randT(rng, 5, 5), randT(rng, 5, 5)},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MatMulInto(d, in[0], in[1]) },
+			aliasBad: []int{0, 1},
+		},
+		{
+			name:     "MatMulNTInto",
+			inputs:   []*Tensor{randT(rng, 5, 5), randT(rng, 5, 5)},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MatMulNTInto(d, in[0], in[1]) },
+			aliasBad: []int{0, 1},
+		},
+		{
+			name:     "MatMulTNInto",
+			inputs:   []*Tensor{randT(rng, 5, 5), randT(rng, 5, 5)},
+			run:      func(d *Tensor, in []*Tensor) *Tensor { return MatMulTNInto(d, in[0], in[1]) },
+			aliasBad: []int{0, 1},
+		},
+		{
+			name:   "Im2colInto",
+			inputs: []*Tensor{full},
+			run: func(d *Tensor, in []*Tensor) *Tensor {
+				return Im2colInto(d, in[0], ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 4, InW: 4, Channel: 2})
+			},
+		},
+		{
+			name:   "Col2imInto",
+			inputs: []*Tensor{randT(rng, 48, 18)},
+			run: func(d *Tensor, in []*Tensor) *Tensor {
+				return Col2imInto(d, in[0], 3, ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 4, InW: 4, Channel: 2})
+			},
+		},
+	}
+	runIntoCases(t, cases)
+}
+
+// TestIntoMatchesAllocating cross-checks the Into kernels against the
+// allocating Tensor methods they back, on independently generated inputs.
+func TestIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randT(rng, 3, 7)
+	b := randT(rng, 3, 7)
+	m := randT(rng, 3, 5)
+	n := randT(rng, 5, 4)
+
+	equalTensors(t, "Add", AddInto(Get(21), a, b), a.Add(b))
+	equalTensors(t, "Sub", SubInto(Get(21), a, b), a.Sub(b))
+	equalTensors(t, "Mul", MulInto(Get(21), a, b), a.Mul(b))
+	equalTensors(t, "Scale", ScaleInto(Get(21), a, 1.5), a.Scale(1.5))
+	equalTensors(t, "Apply", ApplyInto(Get(21), a, math.Tanh), a.Apply(math.Tanh))
+	equalTensors(t, "Pow", PowInto(Get(21), ApplyInto(nil, a, math.Abs), 2), ApplyInto(nil, a, math.Abs).Pow(2))
+	equalTensors(t, "MatMul", MatMulInto(Get(12), m, n), m.MatMul(n))
+	equalTensors(t, "MatMulNT", MatMulNTInto(nil, m, n.Transpose()), m.MatMul(n))
+	equalTensors(t, "MatMulTN", MatMulTNInto(nil, m.Transpose(), n), m.MatMul(n))
+	equalTensors(t, "Transpose", TransposeInto(Get(21), a), a.Transpose())
+	equalTensors(t, "SumAxes", SumAxesInto(Get(3), a, 1), a.SumAxes(1))
+
+	small := randT(rng, 1, 7)
+	equalTensors(t, "BroadcastTo", BroadcastToInto(Get(21), small, 3, 7), small.BroadcastTo(3, 7))
+	equalTensors(t, "AddBcast", AddBcastInto(nil, a, small), a.Add(small.BroadcastTo(3, 7)))
+	equalTensors(t, "SubBcast", SubBcastInto(nil, a, small), a.Sub(small.BroadcastTo(3, 7)))
+	equalTensors(t, "MulBcast", MulBcastInto(nil, a, small), a.Mul(small.BroadcastTo(3, 7)))
+	equalTensors(t, "MulSum", MulSumInto(nil, a, b, 0), a.Mul(b).SumAxes(0))
+	equalTensors(t, "MulSumLike", MulSumLikeInto(nil, a, b, small), a.Mul(b).SumAxes(0))
+}
+
+// TestBcastSpansFallback exercises the generic forEachBcast walk with a
+// non-contiguous broadcast pattern ([2,1,3,1] against [2,4,3,5]) that the
+// span decomposition cannot express.
+func TestBcastSpansFallback(t *testing.T) {
+	if _, _, _, ok := bcastSpans([]int{2, 4, 3, 5}, []int{2, 1, 3, 1}); ok {
+		t.Fatal("expected non-contiguous broadcast to reject span decomposition")
+	}
+	rng := rand.New(rand.NewSource(3))
+	full := randT(rng, 2, 4, 3, 5)
+	small := randT(rng, 2, 1, 3, 1)
+	equalTensors(t, "non-contiguous MulBcast",
+		MulBcastInto(nil, full, small),
+		full.Mul(small.BroadcastTo(2, 4, 3, 5)))
+	equalTensors(t, "non-contiguous SumLike",
+		SumLikeInto(nil, full, small),
+		full.SumAxes(1, 3))
+}
+
+// TestParallelMatMulDeterminism is the determinism guard required by the
+// compute-backbone design: the row-sharded parallel MatMul must be bitwise
+// identical to the sequential kernel, because each output row is produced
+// by exactly one goroutine running the same code path. The matrices are
+// large enough (64·96·80 scalar ops) to clear the parallelism threshold.
+func TestParallelMatMulDeterminism(t *testing.T) {
+	if parallelWork > 64*96*80 {
+		t.Fatalf("test matrices no longer clear parallelWork=%d", parallelWork)
+	}
+	rng := rand.New(rand.NewSource(11))
+	a := randT(rng, 64, 96)
+	b := randT(rng, 96, 80)
+
+	seq := New(64, 80)
+	matMulRows(seq, a, b, 0, 64) // whole-range sequential kernel
+	equalTensors(t, "parallel vs sequential MatMul", MatMulInto(nil, a, b), seq)
+
+	seqNT := New(64, 64)
+	bt := randT(rng, 64, 96)
+	matMulNTRows(seqNT, a, bt, 0, 64)
+	equalTensors(t, "parallel vs sequential MatMulNT", MatMulNTInto(nil, a, bt), seqNT)
+
+	seqTN := New(96, 96)
+	at := randT(rng, 64, 96)
+	matMulTNRows(seqTN, at, a, 0, 96)
+	equalTensors(t, "parallel vs sequential MatMulTN", MatMulTNInto(nil, at, a), seqTN)
+}
+
+// TestParallelIm2colDeterminism pins the sharded im2col/col2im pair to the
+// single-worker result by forcing GOMAXPROCS(1) for the reference run.
+func TestParallelIm2colDeterminism(t *testing.T) {
+	g := ConvGeom{Kernel: 3, Stride: 1, Pad: 1, InH: 16, InW: 16, Channel: 8}
+	rng := rand.New(rand.NewSource(13))
+	x := randT(rng, 8, 16, 16, 8)
+
+	prev := runtime.GOMAXPROCS(1)
+	seqCols := Im2col(x, g)
+	seqBack := Col2im(seqCols, 8, g)
+	runtime.GOMAXPROCS(prev)
+
+	cols := Im2col(x, g)
+	equalTensors(t, "parallel vs sequential Im2col", cols, seqCols)
+	equalTensors(t, "parallel vs sequential Col2im", Col2im(cols, 8, g), seqBack)
+}
+
+// TestPrepDstRejectsWrongSize verifies destinations of mismatched element
+// count are rejected rather than silently reallocated.
+func TestPrepDstRejectsWrongSize(t *testing.T) {
+	a := Ones(2, 3)
+	mustPanic(t, "wrong-size dst", func() { AddInto(New(7), a, a) })
+}

@@ -1,0 +1,40 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelWork is the approximate number of scalar operations below which
+// a kernel stays sequential. Tiny shapes — the bulk of unit-test traffic —
+// never pay goroutine overhead, and their execution stays trivially
+// deterministic; large shapes shard across GOMAXPROCS workers.
+const parallelWork = 1 << 16
+
+// shardRows splits [0, rows) into at most GOMAXPROCS contiguous chunks and
+// runs fn on each chunk concurrently. work is the total scalar-op estimate
+// for the whole kernel; below parallelWork fn runs inline on the full
+// range. Each output row is processed by exactly one worker running the
+// same sequential code path, so results are bitwise identical to a single
+// fn(0, rows) call — parallelism never reorders floating-point reductions.
+func shardRows(rows, work int, fn func(lo, hi int)) {
+	procs := runtime.GOMAXPROCS(0)
+	if work < parallelWork || rows < 2 || procs < 2 {
+		fn(0, rows)
+		return
+	}
+	if procs > rows {
+		procs = rows
+	}
+	chunk := (rows + procs - 1) / procs
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

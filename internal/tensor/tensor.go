@@ -10,20 +10,40 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 )
+
+// maxInlineRank is the rank up to which a tensor's shape is stored in the
+// struct itself rather than a separate heap slice. Every tensor in this
+// repository is rank ≤ 4 (NHWC maps), so shape storage is effectively free.
+const maxInlineRank = 4
 
 // Tensor is a dense row-major float64 array with an explicit shape.
 // The zero value is an empty tensor; use New or the constructors below.
 type Tensor struct {
-	shape []int
-	data  []float64
+	shape    []int
+	data     []float64
+	shapeArr [maxInlineRank]int
+}
+
+// setShape copies shape into t, using the inline backing array for ranks
+// up to maxInlineRank so no separate allocation is needed.
+func (t *Tensor) setShape(shape []int) {
+	if len(shape) <= maxInlineRank {
+		t.shape = t.shapeArr[:len(shape)]
+	} else {
+		t.shape = make([]int, len(shape))
+	}
+	copy(t.shape, shape)
 }
 
 // New returns a zero-filled tensor with the given shape. All dimensions
 // must be positive; a scalar is represented as shape [1].
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
-	return &Tensor{shape: cloneInts(shape), data: make([]float64, n)}
+	t := &Tensor{data: make([]float64, n)}
+	t.setShape(shape)
+	return t
 }
 
 // FromSlice wraps a copy of data in a tensor of the given shape.
@@ -31,11 +51,13 @@ func New(shape ...int) *Tensor {
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %s (want %d)", len(data), shapeStr(shape), n))
 	}
 	d := make([]float64, n)
 	copy(d, data)
-	return &Tensor{shape: cloneInts(shape), data: d}
+	t := &Tensor{data: d}
+	t.setShape(shape)
+	return t
 }
 
 // Full returns a tensor with every element set to v.
@@ -86,7 +108,32 @@ func (t *Tensor) Data() []float64 { return t.data }
 
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
-	return &Tensor{shape: cloneInts(t.shape), data: append([]float64(nil), t.data...)}
+	c := &Tensor{data: append([]float64(nil), t.data...)}
+	c.setShape(t.shape)
+	return c
+}
+
+// NewLike returns a zero-filled tensor with the same shape as t.
+func NewLike(t *Tensor) *Tensor {
+	c := &Tensor{data: make([]float64, len(t.data))}
+	c.setShape(t.shape)
+	return c
+}
+
+// Zero sets every element to 0 and returns t.
+func (t *Tensor) Zero() *Tensor {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+	return t
+}
+
+// CopyFrom overwrites t's elements with o's (shapes must match) and
+// returns t.
+func (t *Tensor) CopyFrom(o *Tensor) *Tensor {
+	t.mustSameShape(o, "CopyFrom")
+	copy(t.data, o.data)
+	return t
 }
 
 // Reshape returns a copy of t with a new shape holding the same elements
@@ -94,11 +141,62 @@ func (t *Tensor) Clone() *Tensor {
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := checkShape(shape)
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %s (%d elems)", t.shape, len(t.data), shapeStr(shape), n))
 	}
 	c := t.Clone()
-	c.shape = cloneInts(shape)
+	c.setShape(shape)
 	return c
+}
+
+// View returns a tensor with a new shape sharing t's storage (no copy).
+// Mutating either tensor mutates both; callers relying on views — the
+// autodiff graph in particular — must treat the storage as immutable.
+// It panics if the element counts differ.
+func (t *Tensor) View(shape ...int) *Tensor {
+	t.mustLive("View")
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot view %v (%d elems) as %s (%d elems)", t.shape, len(t.data), shapeStr(shape), n))
+	}
+	v := &Tensor{data: t.data}
+	v.setShape(shape)
+	return v
+}
+
+// ViewLike returns a view of t (shared storage) shaped like ref.
+func (t *Tensor) ViewLike(ref *Tensor) *Tensor { return t.View(ref.shape...) }
+
+// ViewInto writes a reshaped view of t (shared storage) into the
+// caller-provided header dst — typically an autodiff node's inline tensor
+// — and returns dst. dst must be a zero-valued header.
+func ViewInto(dst, t *Tensor, shape ...int) *Tensor {
+	t.mustLive("ViewInto")
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot view %v (%d elems) as %s (%d elems)", t.shape, len(t.data), shapeStr(shape), n))
+	}
+	if dst == nil || dst.data != nil {
+		panic("tensor: ViewInto needs an empty destination header")
+	}
+	dst.setShape(shape)
+	dst.data = t.data
+	return dst
+}
+
+// ViewLikeInto is ViewInto with the shape taken from ref.
+func ViewLikeInto(dst, t, ref *Tensor) *Tensor { return ViewInto(dst, t, ref.shape...) }
+
+// RowsView returns rows [lo, hi) of a matrix as a view sharing t's
+// storage (row-major rows are contiguous, so no copy is needed).
+func (t *Tensor) RowsView(lo, hi int) *Tensor {
+	if len(t.shape) != 2 || lo < 0 || hi > t.shape[0] || lo >= hi {
+		panic(fmt.Sprintf("tensor: RowsView [%d,%d) of %v", lo, hi, t.shape))
+	}
+	cols := t.shape[1]
+	v := &Tensor{data: t.data[lo*cols : hi*cols]}
+	v.shape = v.shapeArr[:2]
+	v.shape[0], v.shape[1] = hi-lo, cols
+	return v
 }
 
 // At returns the element at the given multi-index.
@@ -148,14 +246,7 @@ func (t *Tensor) mustSameShape(o *Tensor, op string) {
 }
 
 // Add returns t + o elementwise.
-func (t *Tensor) Add(o *Tensor) *Tensor {
-	t.mustSameShape(o, "Add")
-	r := t.Clone()
-	for i, v := range o.data {
-		r.data[i] += v
-	}
-	return r
-}
+func (t *Tensor) Add(o *Tensor) *Tensor { return AddInto(nil, t, o) }
 
 // AddInPlace accumulates o into t and returns t.
 func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
@@ -167,33 +258,13 @@ func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
 }
 
 // Sub returns t - o elementwise.
-func (t *Tensor) Sub(o *Tensor) *Tensor {
-	t.mustSameShape(o, "Sub")
-	r := t.Clone()
-	for i, v := range o.data {
-		r.data[i] -= v
-	}
-	return r
-}
+func (t *Tensor) Sub(o *Tensor) *Tensor { return SubInto(nil, t, o) }
 
 // Mul returns the elementwise (Hadamard) product.
-func (t *Tensor) Mul(o *Tensor) *Tensor {
-	t.mustSameShape(o, "Mul")
-	r := t.Clone()
-	for i, v := range o.data {
-		r.data[i] *= v
-	}
-	return r
-}
+func (t *Tensor) Mul(o *Tensor) *Tensor { return MulInto(nil, t, o) }
 
 // Scale returns c * t.
-func (t *Tensor) Scale(c float64) *Tensor {
-	r := t.Clone()
-	for i := range r.data {
-		r.data[i] *= c
-	}
-	return r
-}
+func (t *Tensor) Scale(c float64) *Tensor { return ScaleInto(nil, t, c) }
 
 // ScaleInPlace multiplies every element by c and returns t.
 func (t *Tensor) ScaleInPlace(c float64) *Tensor {
@@ -212,23 +283,27 @@ func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) *Tensor {
 	return t
 }
 
+// ScaleAddInPlace computes t = c*t + o in a single pass — the momentum
+// update v ← μv + g — and returns t.
+func (t *Tensor) ScaleAddInPlace(c float64, o *Tensor) *Tensor {
+	t.mustSameShape(o, "ScaleAddInPlace")
+	for i, v := range o.data {
+		t.data[i] = c*t.data[i] + v
+	}
+	return t
+}
+
 // Neg returns -t.
 func (t *Tensor) Neg() *Tensor { return t.Scale(-1) }
 
 // Apply returns a new tensor with f applied to every element.
 func (t *Tensor) Apply(f func(float64) float64) *Tensor {
-	r := t.Clone()
-	for i, v := range r.data {
-		r.data[i] = f(v)
-	}
-	return r
+	return ApplyInto(nil, t, f)
 }
 
 // Pow returns t with every element raised to p. Negative bases with
 // non-integer exponents yield NaN, as in math.Pow.
-func (t *Tensor) Pow(p float64) *Tensor {
-	return t.Apply(func(v float64) float64 { return math.Pow(v, p) })
-}
+func (t *Tensor) Pow(p float64) *Tensor { return PowInto(nil, t, p) }
 
 // Exp returns elementwise e^t.
 func (t *Tensor) Exp() *Tensor { return t.Apply(math.Exp) }
@@ -313,67 +388,13 @@ func (t *Tensor) ArgMaxRows() []int {
 // SumAxes sums over the given axes, keeping them as size-1 dimensions.
 // Axes must be sorted, unique and in range.
 func (t *Tensor) SumAxes(axes ...int) *Tensor {
-	reduce := make([]bool, len(t.shape))
-	for i, a := range axes {
-		if a < 0 || a >= len(t.shape) {
-			panic(fmt.Sprintf("tensor: SumAxes axis %d out of range for shape %v", a, t.shape))
-		}
-		if i > 0 && axes[i-1] >= a {
-			panic("tensor: SumAxes axes must be sorted and unique")
-		}
-		reduce[a] = true
-	}
-	outShape := make([]int, len(t.shape))
-	for i, s := range t.shape {
-		if reduce[i] {
-			outShape[i] = 1
-		} else {
-			outShape[i] = s
-		}
-	}
-	out := New(outShape...)
-	idx := make([]int, len(t.shape))
-	for off := 0; off < len(t.data); off++ {
-		oOff := 0
-		for i := range idx {
-			oi := idx[i]
-			if reduce[i] {
-				oi = 0
-			}
-			oOff = oOff*outShape[i] + oi
-		}
-		out.data[oOff] += t.data[off]
-		incIndex(idx, t.shape)
-	}
-	return out
+	return SumAxesInto(nil, t, axes...)
 }
 
 // BroadcastTo expands size-1 dimensions of t to match shape. The ranks
 // must be equal and every non-1 dimension must already match.
 func (t *Tensor) BroadcastTo(shape ...int) *Tensor {
-	if len(shape) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: BroadcastTo rank mismatch %v vs %v", t.shape, shape))
-	}
-	for i, s := range t.shape {
-		if s != shape[i] && s != 1 {
-			panic(fmt.Sprintf("tensor: cannot broadcast %v to %v", t.shape, shape))
-		}
-	}
-	out := New(shape...)
-	idx := make([]int, len(shape))
-	for off := 0; off < len(out.data); off++ {
-		sOff := 0
-		for i := range idx {
-			si := idx[i]
-			if t.shape[i] == 1 {
-				si = 0
-			}
-			sOff = sOff*t.shape[i] + si
-		}
-		out.data[off] = t.data[sOff]
-		incIndex(idx, shape)
-	}
-	return out
+	return BroadcastToInto(nil, t, shape...)
 }
 
 // incIndex advances a row-major multi-index by one position.
@@ -389,49 +410,12 @@ func incIndex(idx, shape []int) {
 
 // --- linear algebra ---
 
-// MatMul returns the matrix product of t [M,K] and o [K,N].
-func (t *Tensor) MatMul(o *Tensor) *Tensor {
-	if len(t.shape) != 2 || len(o.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires matrices, got %v and %v", t.shape, o.shape))
-	}
-	m, k := t.shape[0], t.shape[1]
-	k2, n := o.shape[0], o.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", t.shape, o.shape))
-	}
-	out := New(m, n)
-	// ikj loop order keeps the inner loop contiguous in both o and out.
-	for i := 0; i < m; i++ {
-		ti := t.data[i*k : (i+1)*k]
-		oi := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			a := ti[kk]
-			if a == 0 {
-				continue
-			}
-			bj := o.data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += a * bj[j]
-			}
-		}
-	}
-	return out
-}
+// MatMul returns the matrix product of t [M,K] and o [K,N]. Large
+// products run row-parallel; see MatMulInto.
+func (t *Tensor) MatMul(o *Tensor) *Tensor { return MatMulInto(nil, t, o) }
 
 // Transpose returns the transpose of a matrix.
-func (t *Tensor) Transpose() *Tensor {
-	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: Transpose requires a matrix, got %v", t.shape))
-	}
-	m, n := t.shape[0], t.shape[1]
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = t.data[i*n+j]
-		}
-	}
-	return out
-}
+func (t *Tensor) Transpose() *Tensor { return TransposeInto(nil, t) }
 
 // --- helpers ---
 
@@ -442,7 +426,7 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, s := range shape {
 		if s <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			panic("tensor: non-positive dimension in shape " + shapeStr(shape))
 		}
 		n *= s
 	}
@@ -450,3 +434,20 @@ func checkShape(shape []int) int {
 }
 
 func cloneInts(s []int) []int { return append([]int(nil), s...) }
+
+// shapeStr formats a shape like fmt's %v without forcing the slice to
+// escape to the heap: the hot kernels pass stack-allocated shape scratch
+// through checkShape/prepDst, and an fmt call on the panic path would
+// otherwise make every call site allocate.
+func shapeStr(s []int) string {
+	b := make([]byte, 0, 24)
+	b = append(b, '[')
+	for i, v := range s {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	b = append(b, ']')
+	return string(b)
+}

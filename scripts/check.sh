@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# check.sh — repository hygiene gate: formatting, vet, and race-enabled
+# tests on the packages with concurrent kernels (tensor) and concurrent
+# training loops (fl). Run via `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./internal/fl/... ./internal/tensor/..."
+go test -race ./internal/fl/... ./internal/tensor/...
+
+echo "check.sh: all clean"
