@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+.PHONY: build test check lint bench fmt
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
-# Hygiene gate: gofmt, vet, and race-enabled tests on the concurrent
-# packages (tensor kernels, fl training loops).
+# Hygiene gate: gofmt, vet, quickdroplint, and race-enabled tests on
+# everything except the slow end-to-end core package (see check.sh).
 check:
 	sh scripts/check.sh
+
+# Static-analysis suite enforcing the compute-backbone invariants
+# (pool balance, *Into aliasing, hot-path allocations, determinism,
+# graph freezing, error handling). See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/quickdroplint ./...
 
 # Allocation-focused benchmarks for the compute backbone.
 bench:

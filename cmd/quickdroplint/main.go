@@ -1,0 +1,116 @@
+// Command quickdroplint runs the repository's static-analysis suite
+// (internal/lint) over the module containing the working directory.
+//
+// Usage:
+//
+//	quickdroplint [-rules r1,r2] [-list] [patterns ...]
+//
+// Patterns are module-root-relative package selectors in the go tool's
+// style: "./..." (everything, the default), "./internal/tensor/..."
+// (a subtree), or "./internal/fl" (one package). The whole module is
+// always loaded and analyzed — cross-package contracts need the full
+// picture — and patterns select which findings are printed.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"quickdrop/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("quickdroplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "print the rule catalogue and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "quickdroplint:", err)
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "quickdroplint:", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "quickdroplint:", err)
+		return 2
+	}
+	prog, err := lint.LoadProgram(root, modPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "quickdroplint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n := 0
+	for _, d := range lint.Run(prog, analyzers) {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		rel = filepath.ToSlash(rel)
+		if !matchesAny(rel, patterns) {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(stderr, "quickdroplint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+func matchesAny(relFile string, patterns []string) bool {
+	for _, p := range patterns {
+		if matchPattern(relFile, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPattern reports whether the module-root-relative file falls
+// under one go-style package pattern.
+func matchPattern(relFile, pattern string) bool {
+	dir := path.Dir(relFile)
+	pattern = strings.TrimPrefix(pattern, "./")
+	switch {
+	case pattern == "..." || pattern == "" || pattern == ".":
+		return true
+	case strings.HasSuffix(pattern, "/..."):
+		prefix := strings.TrimSuffix(pattern, "/...")
+		return dir == prefix || strings.HasPrefix(dir, prefix+"/")
+	default:
+		return dir == strings.TrimSuffix(pattern, "/")
+	}
+}

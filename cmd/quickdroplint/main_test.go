@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir switches the working directory for one test and restores it.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRunFlagsNegativeFixture(t *testing.T) {
+	// The errcheck golden fixture doubles as the command's negative
+	// fixture: it carries its own go.mod, so quickdroplint treats it as
+	// a module and must exit 1 with findings.
+	chdir(t, filepath.Join("..", "..", "internal", "lint", "testdata", "src", "errcheck"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "errcheck", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "errcheck: ") {
+		t.Errorf("output has no errcheck findings:\n%s", out.String())
+	}
+}
+
+func TestRunPatternFiltersFindings(t *testing.T) {
+	chdir(t, filepath.Join("..", "..", "internal", "lint", "testdata", "src", "errcheck"))
+	var out, errb bytes.Buffer
+	if code := run([]string{"./nonexistent/..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 for a pattern matching nothing", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, rule := range []string{"poolbalance", "intoalias", "hotpathalloc", "determinism", "graphfreeze", "errcheck"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		file, pattern string
+		want          bool
+	}{
+		{"internal/fl/fedavg.go", "./...", true},
+		{"internal/fl/fedavg.go", "./internal/...", true},
+		{"internal/fl/fedavg.go", "./internal/fl", true},
+		{"internal/fl/fedavg.go", "./internal/fl/...", true},
+		{"internal/fl/fedavg.go", "./internal/tensor", false},
+		{"internal/fl/fedavg.go", "./internal/tensor/...", false},
+		{"main.go", ".", true},
+		{"main.go", "./internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.file, c.pattern); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.file, c.pattern, got, c.want)
+		}
+	}
+}

@@ -15,7 +15,7 @@ func ConcatRows(parts ...*Value) *Value {
 	rows := 0
 	for _, p := range parts {
 		if p.Data.Dims() != 2 || p.Data.Dim(1) != cols {
-			panic(fmt.Sprintf("autodiff: ConcatRows shape mismatch: %v", p.Data.Shape()))
+			panic(fmt.Sprintf("autodiff: ConcatRows shape mismatch: %s", p.Data.ShapeString()))
 		}
 		rows += p.Data.Dim(0)
 	}
@@ -44,7 +44,7 @@ func ConcatRows(parts ...*Value) *Value {
 // sharing a's storage (rows are contiguous in row-major order).
 func SliceRows(a *Value, lo, hi int) *Value {
 	if a.Data.Dims() != 2 || lo < 0 || hi > a.Data.Dim(0) || lo >= hi {
-		panic(fmt.Sprintf("autodiff: SliceRows [%d,%d) of %v", lo, hi, a.Data.Shape()))
+		panic(fmt.Sprintf("autodiff: SliceRows [%d,%d) of %s", lo, hi, a.Data.ShapeString()))
 	}
 	cols := a.Data.Dim(1)
 	total := a.Data.Dim(0)

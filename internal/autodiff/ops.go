@@ -330,7 +330,7 @@ func Mean(a *Value) *Value {
 // Expand broadcasts a scalar node of shape [1] to an arbitrary shape.
 func Expand(scalar *Value, shape ...int) *Value {
 	if scalar.Data.Len() != 1 {
-		panic(fmt.Sprintf("autodiff: Expand requires a scalar, got %v", scalar.Data.Shape()))
+		panic(fmt.Sprintf("autodiff: Expand requires a scalar, got %s", scalar.Data.ShapeString()))
 	}
 	ones := make([]int, len(shape))
 	for i := range ones {

@@ -77,7 +77,7 @@ func (v *Value) Shape() []int { return v.Data.Shape() }
 // Item returns the single element of a scalar node.
 func (v *Value) Item() float64 {
 	if v.Data.Len() != 1 {
-		panic(fmt.Sprintf("autodiff: Item on non-scalar %v", v.Data.Shape()))
+		panic(fmt.Sprintf("autodiff: Item on non-scalar %s", v.Data.ShapeString()))
 	}
 	return v.Data.Data()[0]
 }
@@ -134,7 +134,7 @@ func newNodeN(op string, data *tensor.Tensor, inputs []*Value, vjp func(n, g *Va
 // zero gradient of matching shape.
 func Grad(out *Value, wrt []*Value) ([]*Value, error) {
 	if out.Data.Len() != 1 {
-		return nil, fmt.Errorf("autodiff: Grad requires a scalar output, got shape %v", out.Data.Shape())
+		return nil, fmt.Errorf("autodiff: Grad requires a scalar output, got shape %s", out.Data.ShapeString())
 	}
 	if !out.requiresGrad {
 		zs := make([]*Value, len(wrt))
@@ -201,7 +201,7 @@ func accumulate(grads map[*Value]*Value, n, in *Value, ig *Value) error {
 		return nil
 	}
 	if !ig.Data.SameShape(in.Data) {
-		return fmt.Errorf("autodiff: op %q produced gradient shape %v for input shape %v", n.op, ig.Data.Shape(), in.Data.Shape())
+		return fmt.Errorf("autodiff: op %q produced gradient shape %s for input shape %s", n.op, ig.Data.ShapeString(), in.Data.ShapeString())
 	}
 	if acc, ok := grads[in]; ok {
 		grads[in] = Add(acc, ig)

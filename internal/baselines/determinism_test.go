@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"testing"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+)
+
+// newMethod constructs one baseline by name from fresh config and data.
+func newMethod(t *testing.T, name string, cfg Config, clients []*data.Dataset) Method {
+	t.Helper()
+	var m Method
+	var err error
+	switch name {
+	case "Retrain-Or":
+		m, err = NewRetrainOr(cfg, clients)
+	case "SGA-Or":
+		m, err = NewSGAOr(cfg, clients)
+	case "FedEraser":
+		m, err = NewFedEraser(cfg, clients)
+	case "FU-MP":
+		m, err = NewFUMP(cfg, clients)
+	case "S2U":
+		m, err = NewS2U(cfg, clients)
+	default:
+		t.Fatalf("unknown method %q", name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runToParams executes Prepare + Unlearn from scratch and returns the
+// final global parameters' raw element slices.
+func runToParams(t *testing.T, name string, req core.Request) [][]float64 {
+	t.Helper()
+	clients, _ := testClients(t, 2, 4, 7)
+	cfg := testConfig()
+	cfg.Train.Rounds = 4
+	cfg.RetrainRounds = 4
+	m := newMethod(t, name, cfg, clients)
+	if err := m.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Unlearn(req); err != nil {
+		t.Fatal(err)
+	}
+	params := m.Model().CloneParams()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = p.Data()
+	}
+	return out
+}
+
+// TestBaselinesBitwiseDeterministic runs every baseline twice from
+// identical seeds and data and requires the final global parameters to
+// be bitwise identical. This is the auditability property the
+// determinism lint rule protects: an unlearning run that cannot be
+// replayed exactly cannot be verified against a certified transcript.
+func TestBaselinesBitwiseDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		req  core.Request
+	}{
+		{"Retrain-Or", core.Request{Kind: core.ClassLevel, Class: 1}},
+		{"SGA-Or", core.Request{Kind: core.ClassLevel, Class: 1}},
+		// Client-level requests exercise FedEraser's calibrated replay,
+		// whose aggregation order was the map-iteration bug the
+		// determinism analyzer caught.
+		{"FedEraser", core.Request{Kind: core.ClientLevel, Client: 1}},
+		{"FU-MP", core.Request{Kind: core.ClassLevel, Class: 1}},
+		{"S2U", core.Request{Kind: core.ClientLevel, Client: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			first := runToParams(t, c.name, c.req)
+			second := runToParams(t, c.name, c.req)
+			if len(first) != len(second) {
+				t.Fatalf("param count differs: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if len(first[i]) != len(second[i]) {
+					t.Fatalf("param %d length differs: %d vs %d", i, len(first[i]), len(second[i]))
+				}
+				for j := range first[i] {
+					if first[i][j] != second[i][j] {
+						t.Fatalf("%s is not bitwise deterministic: param %d elem %d is %v vs %v",
+							c.name, i, j, first[i][j], second[i][j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"quickdrop/internal/core"
@@ -128,8 +129,16 @@ func (f *FedEraser) calibratedRound(recorded map[int][]*tensor.Tensor, retain []
 	for i, g := range global {
 		agg[i] = tensor.NewLike(g)
 	}
+	// Aggregate in client-ID order: ranging over the map would reorder
+	// the floating-point sums run to run.
+	ids := make([]int, 0, len(recorded))
+	for id := range recorded {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	totalWeight := 0.0
-	for clientID, delta := range recorded {
+	for _, clientID := range ids {
+		delta := recorded[clientID]
 		ds := retain[clientID]
 		if ds == nil || ds.Len() == 0 {
 			continue // the forgotten client (or one with no retain data)

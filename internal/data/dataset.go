@@ -35,7 +35,7 @@ func (d *Dataset) Len() int { return len(d.X) }
 // Append adds a sample. The tensor is stored by reference.
 func (d *Dataset) Append(x *tensor.Tensor, y int) {
 	if x.Dims() != 3 || x.Dim(0) != d.H || x.Dim(1) != d.W || x.Dim(2) != d.C {
-		panic(fmt.Sprintf("data: sample shape %v does not match dataset %dx%dx%d", x.Shape(), d.H, d.W, d.C))
+		panic(fmt.Sprintf("data: sample shape %s does not match dataset %dx%dx%d", x.ShapeString(), d.H, d.W, d.C))
 	}
 	if y < 0 || y >= d.Classes {
 		panic(fmt.Sprintf("data: label %d out of range [0,%d)", y, d.Classes))

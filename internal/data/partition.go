@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // PartitionIID splits ds uniformly at random into n client datasets of
@@ -43,7 +44,17 @@ func PartitionDirichlet(ds *Dataset, n int, alpha float64, rng *rand.Rand) []*Da
 		panic(fmt.Sprintf("data: cannot split %d samples across %d clients", ds.Len(), n))
 	}
 	assign := make([][]int, n)
-	for _, idx := range ds.ByClass() {
+	// Walk classes in sorted order: ranging over the ByClass map would
+	// consume rng draws in a run-dependent order and change the split
+	// under an identical seed.
+	byClass := ds.ByClass()
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		idx := byClass[c]
 		shuffled := append([]int(nil), idx...)
 		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		props := dirichlet(rng, alpha, n)

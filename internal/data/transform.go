@@ -30,7 +30,7 @@ func HorizontalFlip(p float64) Transform {
 			return x.Clone()
 		}
 		if x.Dims() != 3 {
-			panic(fmt.Sprintf("data: HorizontalFlip expects [H,W,C], got %v", x.Shape()))
+			panic(fmt.Sprintf("data: HorizontalFlip expects [H,W,C], got %s", x.ShapeString()))
 		}
 		h, w, c := x.Dim(0), x.Dim(1), x.Dim(2)
 		out := tensor.New(h, w, c)
@@ -50,7 +50,7 @@ func HorizontalFlip(p float64) Transform {
 func RandomShift(maxShift int) Transform {
 	return func(x *tensor.Tensor, rng *rand.Rand) *tensor.Tensor {
 		if x.Dims() != 3 {
-			panic(fmt.Sprintf("data: RandomShift expects [H,W,C], got %v", x.Shape()))
+			panic(fmt.Sprintf("data: RandomShift expects [H,W,C], got %s", x.ShapeString()))
 		}
 		dy := rng.Intn(2*maxShift+1) - maxShift
 		dx := rng.Intn(2*maxShift+1) - maxShift

@@ -98,7 +98,7 @@ func MatchDistance(gS, gD []*ad.Value, eps float64) *ad.Value {
 	for i := range gS {
 		s, d := gS[i], gD[i]
 		if !s.Data.SameShape(d.Data) {
-			panic(fmt.Sprintf("distill: grad %d shape mismatch %v vs %v", i, s.Data.Shape(), d.Data.Shape()))
+			panic(fmt.Sprintf("distill: grad %d shape mismatch %s vs %s", i, s.Data.ShapeString(), d.Data.ShapeString()))
 		}
 		// Group per output unit: matrices [R, C] have C groups (columns);
 		// vectors become a single column.
@@ -184,12 +184,14 @@ func (m *Matcher) Hook() fl.LocalStepHook {
 // real-data gradient (detached), the synthetic-data gradient
 // (graph-connected), their grouped cosine distance, and takes ς_S SGD
 // steps on the synthetic pixels.
+//
+//lint:hotpath
 func (m *Matcher) MatchStep(ctx fl.StepContext) {
 	syn := m.Sets[ctx.ClientID]
 	if syn == nil || syn.Len() == 0 {
 		return
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism DD-overhead accounting only; never feeds back into the numerics
 	defer func() { m.DDTime += time.Since(start) }()
 
 	if grouping := m.Groupings[ctx.ClientID]; grouping != nil {

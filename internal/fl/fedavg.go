@@ -178,6 +178,8 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 
 // runLocalSteps performs cfg.LocalSteps SGD/SGA updates on the client's
 // local model.
+//
+//lint:hotpath
 func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round, clientID int, rng *rand.Rand) {
 	opt := &optim.SGD{LR: cfg.LR, Dir: cfg.Dir}
 	gt := make([]*tensor.Tensor, len(model.Params()))

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism guards the bit-for-bit reproducibility contract (DESIGN
+// decision: identical seeds produce identical runs, which is what makes
+// an unlearning run auditable):
+//
+//   - no package-level math/rand source anywhere in the module — all
+//     randomness flows through an injected, seeded *rand.Rand;
+//   - no time.Now inside the numeric-kernel packages (tensor, autodiff,
+//     nn, optim, distill), where wall-clock reads either leak into
+//     results or mask nondeterminism; accounting layers above may
+//     measure time (and distill's DD-overhead meter carries a reasoned
+//     //lint:allow);
+//   - no floating-point or tensor accumulation driven by ranging over a
+//     map: map iteration order reorders the reduction and changes the
+//     rounded result run to run.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no global rand, no wall clock in kernels, no map-ordered accumulation",
+	Run:  runDeterminism,
+}
+
+// kernelPkgSuffixes are the numeric packages where wall-clock reads are
+// forbidden.
+var kernelPkgSuffixes = []string{
+	"internal/tensor", "internal/autodiff", "internal/nn", "internal/optim", "internal/distill",
+}
+
+// allowedRandFuncs construct seeded generators rather than drawing from
+// the global source.
+var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	kernel := false
+	for _, s := range kernelPkgSuffixes {
+		if hasPathSuffix(pass.Pkg.Path, s) {
+			kernel = true
+			break
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil {
+					return true
+				}
+				pkg := funcPkgPath(fn)
+				if (pkg == "math/rand" || pkg == "math/rand/v2") && recvNamed(fn) == nil && !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; inject a seeded *rand.Rand instead", fn.Name())
+				}
+				if kernel && pkg == "time" && fn.Name() == "Now" && recvNamed(fn) == nil {
+					pass.Reportf(n.Pos(), "time.Now in numeric-kernel package %s; wall-clock reads do not belong in kernels", pass.Pkg.Types.Name())
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(pass, info, n.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// accumulatingTensorMethods reorder a floating-point reduction when
+// invoked in map-iteration order.
+var accumulatingTensorMethods = map[string]bool{
+	"AddInPlace": true, "AxpyInPlace": true, "ScaleAddInPlace": true,
+}
+
+// checkMapRangeBody flags numeric accumulation inside a range-over-map
+// body. Integer bookkeeping (counting, set building) is exact under any
+// order and is not flagged.
+func checkMapRangeBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if tv, ok := info.Types[lhs]; ok {
+						if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+							pass.Reportf(n.Pos(), "floating-point accumulation driven by map iteration order is nondeterministic; iterate sorted keys")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil &&
+				accumulatingTensorMethods[fn.Name()] && isMethodOn(fn, fn.Name(), "Tensor", "internal/tensor") {
+				pass.Reportf(n.Pos(), "tensor accumulation (%s) driven by map iteration order is nondeterministic; iterate sorted keys", fn.Name())
+			}
+		}
+		return true
+	})
+}

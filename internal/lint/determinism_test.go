@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, Determinism)
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir and returns
+// its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\n//lint:allow errcheck\nfunc f() {}\n",
+	})
+	prog, err := LoadProgram(root, fixtureModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, nil)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Rule != "directive" {
+		t.Errorf("rule = %q, want directive", diags[0].Rule)
+	}
+}
+
+func TestMalformedAllowIsNotSuppressible(t *testing.T) {
+	// An allow for the "directive" pseudo-rule on the line above must
+	// not silence the malformed-directive report.
+	root := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\n//lint:allow directive trying to hush the checker\n//lint:allow errcheck\nfunc f() {}\n",
+	})
+	prog, err := LoadProgram(root, fixtureModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, nil)
+	if len(diags) != 1 || diags[0].Rule != "directive" {
+		t.Fatalf("got %v, want exactly one directive diagnostic", diags)
+	}
+}
+
+func TestAllowOnLineAboveSuppresses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\nfunc fail() error { return nil }\n\nfunc g() {\n\t//lint:allow errcheck fire-and-forget probe\n\tfail()\n}\n",
+	})
+	prog, err := LoadProgram(root, fixtureModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(prog, []*Analyzer{ErrCheck}); len(diags) != 0 {
+		t.Fatalf("suppressed finding still reported: %v", diags)
+	}
+}
+
+func TestAllowWrongRuleDoesNotSuppress(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"p/p.go": "package p\n\nfunc fail() error { return nil }\n\nfunc g() {\n\tfail() //lint:allow determinism wrong rule name\n}\n",
+	})
+	prog, err := LoadProgram(root, fixtureModPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(prog, []*Analyzer{ErrCheck})
+	if len(diags) != 1 || diags[0].Rule != "errcheck" {
+		t.Fatalf("got %v, want one errcheck diagnostic", diags)
+	}
+}

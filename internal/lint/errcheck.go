@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags silently discarded errors:
+//
+//   - a call whose last result is an error used as a bare statement
+//     (including defer and go statements);
+//   - a multi-assign that binds useful results but blanks the error
+//     position (n, _ := f()).
+//
+// A lone `_ = f()` is allowed — the blank assignment is an explicit,
+// greppable statement that the error is being dropped on purpose. The
+// fmt print family (Print/Println/Printf/Fprint…) is exempt: its error
+// returns exist for io.Writer plumbing and checking them on every
+// report line would bury the real signal. Test files are outside the
+// loaded set entirely.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no silently discarded error returns",
+	Run:  runErrCheck,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// exemptFmtFuncs are fmt functions whose error results are
+// conventionally ignored.
+var exemptFmtFuncs = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+func runErrCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, info, n.X)
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, info, n.Call)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, info, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// errResultIndex returns the index of the trailing error result of
+// call's signature, or -1 if the call does not return an error last.
+func errResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return -1
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	if !types.Identical(res.At(res.Len()-1).Type(), errorType) {
+		return -1
+	}
+	return res.Len() - 1
+}
+
+func checkDiscardedCall(pass *Pass, info *types.Info, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if errResultIndex(info, call) < 0 {
+		return
+	}
+	name := "call"
+	if fn := calleeFunc(info, call); fn != nil {
+		if funcPkgPath(fn) == "fmt" && exemptFmtFuncs[fn.Name()] {
+			return
+		}
+		name = fn.Name()
+	}
+	pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign it to _ explicitly", name)
+}
+
+// checkBlankError flags n, _ := f() where the blanked position is the
+// call's error result while other results are kept. A statement that
+// blanks everything (_ = f(), _, _ = f()) is an explicit drop and is
+// allowed.
+func checkBlankError(pass *Pass, info *types.Info, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 || len(n.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	errIdx := errResultIndex(info, call)
+	if errIdx < 0 || errIdx >= len(n.Lhs) {
+		return
+	}
+	if !isBlank(n.Lhs[errIdx]) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i != errIdx && !isBlank(lhs) {
+			name := "call"
+			if fn := calleeFunc(info, call); fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf(n.Lhs[errIdx].Pos(), "error result of %s is blanked while other results are used; handle the error", name)
+			return
+		}
+	}
+}
+
+func isBlank(expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && id.Name == "_"
+}

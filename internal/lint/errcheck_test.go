@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrCheckGolden(t *testing.T) {
+	runGolden(t, ErrCheck)
+}

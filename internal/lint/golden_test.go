@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureModPath makes every fixture tree a mini-module named like the
+// real one, so the suffix-matched package paths (quickdrop/internal/…)
+// resolve identically in tests and in production runs.
+const fixtureModPath = "quickdrop"
+
+// wantMarker introduces the expectation patterns of a fixture line;
+// several quoted patterns may follow one marker.
+const wantMarker = "// want "
+
+var wantPatternRe = regexp.MustCompile(`"([^"]*)"`)
+
+type wantEntry struct {
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runGolden loads testdata/src/<analyzer> as a module, runs the single
+// analyzer over it, and checks the produced diagnostics against the
+// fixture's // want comments: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be claimed by a
+// want.
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	prog, err := LoadProgram(dir, fixtureModPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := Run(prog, []*Analyzer{a})
+
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		text := d.Rule + ": " + d.Message
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, prog *Program) map[string][]*wantEntry {
+	t.Helper()
+	wants := make(map[string][]*wantEntry)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, wantMarker)
+					if i < 0 {
+						continue
+					}
+					rest := c.Text[i+len(wantMarker):]
+					pos := prog.Fset.Position(c.Slash)
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, pat := range wantPatternRe.FindAllStringSubmatch(rest, -1) {
+						re, err := regexp.Compile(pat[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat[1], err)
+						}
+						wants[key] = append(wants[key], &wantEntry{raw: pat[1], re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

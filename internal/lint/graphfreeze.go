@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GraphFreeze enforces autodiff-graph immutability outside the engine:
+// a tensor reachable from an autodiff.Value is frozen for the graph's
+// lifetime (that is what makes views zero-copy and lets VJP closures
+// read operands after the forward pass). Outside internal/autodiff the
+// analyzer flags, for any expression v.Data whose v is an
+// autodiff.Value:
+//
+//   - calls to the in-place tensor mutators on it (Zero, CopyFrom,
+//     AddInPlace, ScaleInPlace, AxpyInPlace, ScaleAddInPlace, Set);
+//   - assignments to it (v.Data = …) or through its storage
+//     (copy(v.Data.Data(), …));
+//   - passing it as the destination of an *Into kernel.
+//
+// Reading v.Data — including handing it to a kernel as an input, or
+// CopyFrom-ing it into a detached buffer — is fine.
+var GraphFreeze = &Analyzer{
+	Name: "graphfreeze",
+	Doc:  "no writes to an autodiff node's tensor outside internal/autodiff",
+	Run:  runGraphFreeze,
+}
+
+// tensorMutators mutate a tensor's elements in place.
+var tensorMutators = map[string]bool{
+	"Zero": true, "CopyFrom": true, "AddInPlace": true, "ScaleInPlace": true,
+	"AxpyInPlace": true, "ScaleAddInPlace": true, "Set": true,
+}
+
+func runGraphFreeze(pass *Pass) {
+	if hasPathSuffix(pass.Pkg.Path, "internal/autodiff") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if isValueData(info, lhs) {
+						pass.Reportf(lhs.Pos(), "assignment to an autodiff node's tensor; graph-held tensors are immutable outside internal/autodiff")
+					}
+				}
+			case *ast.CallExpr:
+				checkGraphFreezeCall(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkGraphFreezeCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	// v.Data.Mutator(...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		tensorMutators[sel.Sel.Name] && isValueData(info, sel.X) {
+		pass.Reportf(call.Pos(), "%s mutates an autodiff node's tensor; graph-held tensors are immutable outside internal/autodiff", sel.Sel.Name)
+		return
+	}
+	// copy(v.Data.Data(), ...) writes through the node's storage.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) > 0 {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == "Data" && isValueData(info, sel.X) {
+					pass.Reportf(call.Pos(), "copy into an autodiff node's storage; graph-held tensors are immutable outside internal/autodiff")
+				}
+			}
+		}
+		return
+	}
+	// SomeKernelInto(v.Data, ...) would overwrite the node's result.
+	if fn := calleeFunc(info, call); fn != nil && strings.HasSuffix(fn.Name(), "Into") && len(call.Args) > 0 {
+		if isValueData(info, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(), "autodiff node's tensor used as %s destination; graph-held tensors are immutable outside internal/autodiff", fn.Name())
+		}
+	}
+}
+
+// isValueData reports whether expr selects the Data field of an
+// autodiff.Value.
+func isValueData(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || s.Obj().Name() != "Data" {
+		return false
+	}
+	return isNamedIn(s.Recv(), "Value", "internal/autodiff")
+}

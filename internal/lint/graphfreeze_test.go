@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGraphFreezeGolden(t *testing.T) {
+	runGolden(t, GraphFreeze)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotPathAllocGolden(t *testing.T) {
+	runGolden(t, HotPathAlloc)
+}

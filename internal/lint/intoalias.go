@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IntoAlias enforces the destination-passing conventions of the *Into
+// kernels (DESIGN.md, "Compute backbone"):
+//
+//   - every function whose name ends in "Into" and whose first
+//     parameter is a *tensor.Tensor must name that parameter dst and
+//     must state its aliasing contract in the doc comment (the word
+//     "alias" must appear);
+//   - a caller must not pass the same expression as dst and as an
+//     operand the contract forbids aliasing with. The contract is read
+//     from the declaration's doc comment: a "must not alias" clause
+//     followed by parameter names forbids those operands, and a "must
+//     not alias ... input/operand" phrasing forbids all of them.
+//
+// The caller-side check is syntactic (identical argument expressions);
+// runtime sharing through views is guarded separately by the kernels'
+// own sharesData panics.
+var IntoAlias = &Analyzer{
+	Name: "intoalias",
+	Doc:  "*Into kernels take dst first, document aliasing, and callers respect the contract",
+	Run:  runIntoAlias,
+}
+
+func runIntoAlias(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkIntoDecl(pass, n)
+			case *ast.CallExpr:
+				checkIntoCall(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// intoParams returns the parameter names of an Into-style declaration
+// and whether the declaration is subject to the convention (name ends
+// in "Into", first parameter is a *Tensor).
+func intoParams(info *types.Info, fd *ast.FuncDecl) ([]string, bool) {
+	if !strings.HasSuffix(fd.Name.Name, "Into") || fd.Type.Params == nil {
+		return nil, false
+	}
+	var names []string
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			names = append(names, name.Name)
+		}
+		if len(field.Names) == 0 {
+			names = append(names, "")
+		}
+	}
+	if len(names) < 2 {
+		return nil, false
+	}
+	first := fd.Type.Params.List[0]
+	if len(first.Names) == 0 {
+		return nil, false
+	}
+	if tv, ok := info.Types[first.Type]; !ok || !isTensor(tv.Type) {
+		return nil, false
+	}
+	return names, true
+}
+
+func checkIntoDecl(pass *Pass, fd *ast.FuncDecl) {
+	names, ok := intoParams(pass.Pkg.Info, fd)
+	if !ok {
+		return
+	}
+	if names[0] != "dst" {
+		pass.Reportf(fd.Name.Pos(), "%s is an *Into kernel; its destination parameter must be first and named dst, not %q", fd.Name.Name, names[0])
+	}
+	if !strings.Contains(strings.ToLower(docText(fd.Doc)), "alias") {
+		pass.Reportf(fd.Name.Pos(), "%s is missing an aliasing contract in its doc comment (state whether dst may alias the inputs)", fd.Name.Name)
+	}
+}
+
+func checkIntoCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || !strings.HasSuffix(fn.Name(), "Into") || len(call.Args) < 2 {
+		return
+	}
+	fi, ok := pass.Prog.Decls[fn]
+	if !ok {
+		return
+	}
+	params, ok := intoParams(fi.Pkg.Info, fi.Decl)
+	if !ok {
+		return
+	}
+	forbidden := forbiddenAliases(docText(fi.Decl.Doc), params[1:])
+	if len(forbidden) == 0 {
+		return
+	}
+	dst := types.ExprString(ast.Unparen(call.Args[0]))
+	if dst == "nil" {
+		return
+	}
+	for i, arg := range call.Args[1:] {
+		if types.ExprString(ast.Unparen(arg)) != dst {
+			continue
+		}
+		// Map argument position to parameter name; trailing arguments
+		// beyond the parameter list belong to a variadic parameter.
+		pi := i
+		if pi >= len(params)-1 {
+			pi = len(params) - 2
+		}
+		name := params[pi+1]
+		if forbidden[name] {
+			pass.Reportf(arg.Pos(), "%s forbids dst aliasing %s, but both receive %s", fn.Name(), name, dst)
+		}
+	}
+}
+
+// forbiddenAliases parses a kernel doc comment for "must not alias"
+// clauses and returns the set of operand parameter names the contract
+// forbids the destination to alias. Clause phrasings that name no
+// specific parameter ("any input", "either input", "an operand")
+// forbid every operand.
+func forbiddenAliases(doc string, operands []string) map[string]bool {
+	isOperand := make(map[string]bool, len(operands))
+	for _, p := range operands {
+		isOperand[p] = true
+	}
+	forbidden := make(map[string]bool)
+	// Collapse the comment's line wrapping so a clause split across
+	// lines ("must not\nalias a") still matches.
+	lower := strings.Join(strings.Fields(strings.ToLower(doc)), " ")
+	const clause = "must not alias"
+	for rest := lower; ; {
+		i := strings.Index(rest, clause)
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len(clause):]
+		// Tokenize up to the end of the sentence.
+		sentence := rest
+		if j := strings.IndexAny(sentence, ".;("); j >= 0 {
+			sentence = sentence[:j]
+		}
+		for _, word := range strings.FieldsFunc(sentence, func(r rune) bool {
+			return !(r == '_' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+		}) {
+			switch {
+			case isOperand[word]:
+				forbidden[word] = true
+			case word == "input" || word == "inputs" || word == "operand" || word == "operands":
+				for _, p := range operands {
+					forbidden[p] = true
+				}
+			}
+		}
+	}
+	return forbidden
+}

@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestIntoAliasGolden(t *testing.T) {
+	runGolden(t, IntoAlias)
+}
+
+func TestForbiddenAliases(t *testing.T) {
+	operands := []string{"a", "b", "idx"}
+	cases := []struct {
+		doc  string
+		want []string
+	}{
+		{"dst may alias a or b.", nil},
+		{"dst must not alias a.", []string{"a"}},
+		{"dst must not alias a or b.", []string{"a", "b"}},
+		{"dst must not alias either input.", []string{"a", "b", "idx"}},
+		{"dst must not alias the operands.", []string{"a", "b", "idx"}},
+		{"no contract here", nil},
+	}
+	for _, c := range cases {
+		got := forbiddenAliases(c.doc, operands)
+		if len(got) != len(c.want) {
+			t.Errorf("forbiddenAliases(%q) = %v, want %v", c.doc, got, c.want)
+			continue
+		}
+		for _, name := range c.want {
+			if !got[name] {
+				t.Errorf("forbiddenAliases(%q) missing %q", c.doc, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolBalance enforces the tensor.Pool ownership rules (DESIGN.md,
+// "Compute backbone"): a buffer obtained from the pool inside a
+// function must be released by that function — a tensor.Put / PutAll
+// call (deferred or not) mentioning the buffer — and must not escape
+// through a return value or a field store, because only the borrowing
+// function may decide when every reference is dead.
+//
+// The check is a conservative syntactic approximation: it requires at
+// least one matching release mention per borrowed variable and flags
+// the escapes it can see (returns, field stores, unbound results). It
+// does not prove the release runs on every path; deferring the Put is
+// the idiom that makes that property hold by construction.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc:  "pool Get results must be Put in the same function and never escape",
+	Run:  runPoolBalance,
+}
+
+func isPoolGet(fn *types.Func) bool {
+	return isPkgFunc(fn, "Get", "internal/tensor") ||
+		isPkgFunc(fn, "GetLike", "internal/tensor") ||
+		isMethodOn(fn, "Get", "Pool", "internal/tensor")
+}
+
+func isPoolPut(fn *types.Func) bool {
+	return isPkgFunc(fn, "Put", "internal/tensor") ||
+		isPkgFunc(fn, "PutAll", "internal/tensor") ||
+		isMethodOn(fn, "Put", "Pool", "internal/tensor")
+}
+
+func runPoolBalance(pass *Pass) {
+	// The pool implementation itself legitimately returns Get results.
+	if hasPathSuffix(pass.Pkg.Path, "internal/tensor") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkPoolBalance(pass, fd)
+			}
+		}
+	}
+}
+
+// borrow tracks one variable holding pooled storage: either a tensor
+// borrowed directly or a slice that pooled tensors are stored into.
+type borrow struct {
+	pos      token.Pos // the Get call
+	released bool
+	escaped  bool
+}
+
+func checkPoolBalance(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	borrows := make(map[types.Object]*borrow)
+
+	// Pass 1: find borrows — Get results bound to a variable or slice
+	// element — and report unbindable results immediately.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolGet(calleeFunc(info, call)) {
+					continue
+				}
+				bindPoolResult(pass, info, borrows, n.Lhs[i], call)
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				call, ok := ast.Unparen(v).(*ast.CallExpr)
+				if !ok || !isPoolGet(calleeFunc(info, call)) {
+					continue
+				}
+				if i < len(n.Names) {
+					bindPoolResult(pass, info, borrows, n.Names[i], call)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isPoolGet(calleeFunc(info, call)) {
+					pass.Reportf(call.Pos(), "pooled tensor is returned; the pool buffer escapes its borrowing function")
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: look for releases and escapes of the tracked variables.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPoolPut(calleeFunc(info, n)) {
+				for _, arg := range n.Args {
+					markIdents(info, arg, borrows, func(b *borrow) { b.released = true })
+				}
+			}
+		case *ast.ReturnStmt:
+			// Only a directly returned borrow escapes; returning a
+			// scalar computed from the buffer is fine.
+			for _, res := range n.Results {
+				markDirectIdent(info, res, borrows, func(b *borrow) { b.escaped = true })
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					markDirectIdent(info, n.Rhs[i], borrows, func(b *borrow) { b.escaped = true })
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range borrows {
+		switch {
+		case b.escaped:
+			pass.Reportf(b.pos, "pooled tensor escapes via a return or field store; only the borrowing function may Put it")
+		case !b.released:
+			pass.Reportf(b.pos, "pool Get has no matching tensor.Put/PutAll in this function")
+		}
+	}
+}
+
+// bindPoolResult records where a Get result lands. Binding to a plain
+// variable or a slice element is tracked; binding to a field or
+// discarding the result escapes immediately.
+func bindPoolResult(pass *Pass, info *types.Info, borrows map[types.Object]*borrow, lhs ast.Expr, call *ast.CallExpr) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			pass.Reportf(call.Pos(), "pool Get result is discarded; the buffer can never be Put")
+			return
+		}
+		if obj := identObj(info, lhs); obj != nil {
+			if _, ok := borrows[obj]; !ok {
+				borrows[obj] = &borrow{pos: call.Pos()}
+			}
+		}
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+			if obj := identObj(info, base); obj != nil {
+				if _, ok := borrows[obj]; !ok {
+					borrows[obj] = &borrow{pos: call.Pos()}
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		pass.Reportf(call.Pos(), "pooled tensor is stored in a field; the pool buffer escapes its borrowing function")
+	default:
+		pass.Reportf(call.Pos(), "pool Get result is not bound to a variable; it can never be Put")
+	}
+}
+
+// markIdents applies f to the borrow of every tracked identifier
+// appearing in expr.
+func markIdents(info *types.Info, expr ast.Expr, borrows map[types.Object]*borrow, f func(*borrow)) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(info, id); obj != nil {
+				if b, ok := borrows[obj]; ok {
+					f(b)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markDirectIdent applies f only when expr itself is a tracked
+// identifier.
+func markDirectIdent(info *types.Info, expr ast.Expr, borrows map[types.Object]*borrow, f func(*borrow)) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := identObj(info, id); obj != nil {
+		if b, ok := borrows[obj]; ok {
+			f(b)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPoolBalanceGolden(t *testing.T) {
+	runGolden(t, PoolBalance)
+}

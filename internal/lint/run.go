@@ -1,0 +1,42 @@
+package lint
+
+import "sort"
+
+// Run executes the analyzers over every package of the program,
+// applies the //lint:allow suppressions, and returns the surviving
+// diagnostics sorted by position. Malformed directives are reported
+// under the "directive" pseudo-rule.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+
+	dirs := collectDirectives(prog)
+	kept := dirs.malformed
+	for _, d := range diags {
+		if !dirs.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return kept
+}

@@ -1,0 +1,31 @@
+// Package tensor stubs a numeric-kernel package for the determinism
+// golden tests: wall-clock reads and global randomness are forbidden
+// here.
+package tensor
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float64 }
+
+// AddInPlace accumulates o into t.
+func (t *Tensor) AddInPlace(o *Tensor) {}
+
+func noise() float64 {
+	return rand.Float64() // want "draws from the global math/rand source"
+}
+
+func seeded(rng *rand.Rand) float64 {
+	return rng.Float64() // ok: injected generator
+}
+
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: seeded construction
+}
+
+func timed() int64 {
+	return time.Now().UnixNano() // want "time.Now in numeric-kernel package"
+}

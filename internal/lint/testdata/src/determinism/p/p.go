@@ -1,0 +1,49 @@
+// Package p exercises the non-kernel determinism rules: global rand is
+// forbidden everywhere, wall clock is fine here, and map-ordered
+// accumulation is flagged.
+package p
+
+import (
+	"math/rand"
+	"time"
+
+	"quickdrop/internal/tensor"
+)
+
+func pick(n int) int {
+	return rand.Intn(n) // want "draws from the global math/rand source"
+}
+
+func measure() time.Time {
+	return time.Now() // ok: accounting layer may read the clock
+}
+
+func reduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation driven by map iteration"
+	}
+	return sum
+}
+
+func reduceTensors(m map[string]*tensor.Tensor, acc *tensor.Tensor) {
+	for _, t := range m {
+		acc.AddInPlace(t) // want "tensor accumulation"
+	}
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer arithmetic is exact under any order
+	}
+	return n
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow determinism summing a diagnostic counter, never fed back into training
+	}
+	return sum
+}

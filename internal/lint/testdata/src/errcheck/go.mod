@@ -1,0 +1,3 @@
+module quickdrop
+
+go 1.22

@@ -1,0 +1,40 @@
+// Package p exercises the discarded-error rules.
+package p
+
+import "fmt"
+
+type conn struct{}
+
+func dial(addr string) (*conn, error) { return &conn{}, nil }
+
+func mayFail() error { return nil }
+
+func discards() {
+	mayFail()       // want "error result of mayFail is silently discarded"
+	defer mayFail() // want "silently discarded"
+	go mayFail()    // want "silently discarded"
+
+	_ = mayFail()     // ok: explicit, greppable drop
+	fmt.Println("hi") // ok: fmt print family is exempt
+}
+
+func blanks(addr string) {
+	c, _ := dial(addr) // want "error result of dial is blanked"
+	_ = c
+
+	c2, err := dial(addr) // ok: error is bound
+	_, _ = c2, err
+
+	_, _ = dial(addr) // ok: everything explicitly dropped
+}
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return nil
+}
+
+func suppressed() {
+	mayFail() //lint:allow errcheck best-effort cleanup on shutdown
+}

@@ -1,0 +1,11 @@
+// Package autodiff stubs the graph node type for the graphfreeze
+// golden tests.
+package autodiff
+
+import "quickdrop/internal/tensor"
+
+// Value is one node of the autodiff graph; Data holds its result.
+type Value struct{ Data *tensor.Tensor }
+
+// Reset clears the node's tensor — legal here, inside the engine.
+func (v *Value) Reset() { v.Data.Zero() }

@@ -1,0 +1,21 @@
+// Package tensor stubs the mutator surface for the graphfreeze golden
+// tests.
+package tensor
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float64 }
+
+// Data exposes the backing slice.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {}
+
+// CopyFrom copies src's elements into t.
+func (t *Tensor) CopyFrom(src *Tensor) {}
+
+// AddInPlace accumulates o into t.
+func (t *Tensor) AddInPlace(o *Tensor) {}
+
+// AddInto writes a+b into dst and returns dst; dst may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor { return dst }

@@ -1,0 +1,25 @@
+// Package p exercises the graph-freeze rules outside the engine.
+package p
+
+import (
+	"quickdrop/internal/autodiff"
+	"quickdrop/internal/tensor"
+)
+
+func mutate(v *autodiff.Value, t *tensor.Tensor) {
+	v.Data.Zero()                 // want "Zero mutates an autodiff node's tensor"
+	v.Data.AddInPlace(t)          // want "AddInPlace mutates an autodiff node's tensor"
+	v.Data = t                    // want "assignment to an autodiff node's tensor"
+	copy(v.Data.Data(), t.Data()) // want "copy into an autodiff node's storage"
+	tensor.AddInto(v.Data, t, t)  // want "used as AddInto destination"
+}
+
+func read(v *autodiff.Value, dst *tensor.Tensor) float64 {
+	tensor.AddInto(dst, v.Data, v.Data) // ok: node tensor as input only
+	dst.CopyFrom(v.Data)                // ok: copying out of the graph
+	return v.Data.Data()[0]             // ok: reading
+}
+
+func suppressed(v *autodiff.Value) {
+	v.Data.Zero() //lint:allow graphfreeze node is detached from the graph at this point
+}

@@ -1,0 +1,18 @@
+// Package tensor stubs the allocating and non-allocating tensor APIs
+// for the hotpathalloc golden tests.
+package tensor
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ shape []int }
+
+// Shape returns a copy of the shape (allocates).
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the i-th dimension without allocating.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Add returns a freshly allocated elementwise sum.
+func (t *Tensor) Add(o *Tensor) *Tensor { return &Tensor{} }
+
+// MatMul returns a freshly allocated matrix product.
+func (t *Tensor) MatMul(o *Tensor) *Tensor { return &Tensor{} }

@@ -1,0 +1,35 @@
+// Package p exercises hot-path reachability and the panic exemption.
+package p
+
+import (
+	"fmt"
+
+	"quickdrop/internal/tensor"
+)
+
+// step is the per-iteration worker of a training loop.
+//
+//lint:hotpath
+func step(x, y *tensor.Tensor) {
+	_ = x.Shape() // want "allocating tensor op Shape"
+	if x.Dim(0) != y.Dim(0) {
+		panic(fmt.Sprintf("dim mismatch %d %d", x.Dim(0), y.Dim(0))) // ok: failure path only
+	}
+	helper(x, y)
+}
+
+func helper(x, y *tensor.Tensor) {
+	_ = x.MatMul(y)                 // want "allocating tensor op MatMul"
+	_ = fmt.Sprintf("%d", x.Dim(0)) // want "fmt.Sprintf allocates"
+}
+
+func cold(x, y *tensor.Tensor) *tensor.Tensor {
+	return x.Add(y) // ok: not reachable from a hot-path root
+}
+
+// warm has a reasoned exemption for a setup-time allocation.
+//
+//lint:hotpath
+func warm(x *tensor.Tensor) {
+	_ = x.Shape() //lint:allow hotpathalloc one-time setup before the loop body
+}

@@ -1,0 +1,18 @@
+// Package tensor stubs the kernel package's *Into conventions for the
+// intoalias golden tests.
+package tensor
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float64 }
+
+// AddInto writes a+b elementwise into dst and returns dst; dst may
+// alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor { return dst }
+
+// MatMulInto writes the matrix product of a and b into dst and returns
+// dst. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) *Tensor { return dst }
+
+// MulSumInto accumulates a*b into dst and returns dst; dst must not
+// alias either input.
+func MulSumInto(dst, a, b *Tensor) *Tensor { return dst }

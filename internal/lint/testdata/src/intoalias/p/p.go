@@ -1,0 +1,26 @@
+// Package p exercises caller- and declaration-side *Into contract
+// checks.
+package p
+
+import "quickdrop/internal/tensor"
+
+// ScaleInto doubles src into the output buffer.
+func ScaleInto(out, src *tensor.Tensor) *tensor.Tensor { // want "must be first and named dst" "missing an aliasing contract"
+	return out
+}
+
+// ViewInto reinterprets src into dst; dst may alias src by design.
+func ViewInto(dst, src *tensor.Tensor) *tensor.Tensor {
+	return dst
+}
+
+func calls(dst, a, b *tensor.Tensor) {
+	tensor.AddInto(dst, dst, b)    // ok: AddInto permits aliasing
+	tensor.MatMulInto(dst, dst, b) // want "MatMulInto forbids dst aliasing a"
+	tensor.MatMulInto(dst, a, dst) // want "MatMulInto forbids dst aliasing b"
+	tensor.MatMulInto(nil, a, b)   // ok: nil dst means allocate
+	tensor.MatMulInto(dst, a, b)   // ok: distinct arguments
+	tensor.MulSumInto(dst, a, dst) // want "MulSumInto forbids dst aliasing b"
+	//lint:allow intoalias kernel tolerates aliasing when a is row-disjoint here
+	tensor.MatMulInto(dst, dst, b)
+}

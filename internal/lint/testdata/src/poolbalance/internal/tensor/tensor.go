@@ -1,0 +1,30 @@
+// Package tensor stubs the real kernel package's pool API for the
+// poolbalance golden tests.
+package tensor
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float64 }
+
+// Sum reduces the tensor to a scalar.
+func (t *Tensor) Sum() float64 { return float64(len(t.data)) }
+
+// Get borrows a buffer of the given shape from the pool.
+func Get(shape ...int) *Tensor { return &Tensor{} }
+
+// GetLike borrows a buffer shaped like t.
+func GetLike(t *Tensor) *Tensor { return &Tensor{} }
+
+// Put returns a borrowed buffer to the pool.
+func Put(t *Tensor) {}
+
+// PutAll returns every buffer in ts to the pool.
+func PutAll(ts []*Tensor) {}
+
+// Pool is a stand-in for the arena type.
+type Pool struct{}
+
+// Get borrows a buffer from this pool.
+func (p *Pool) Get(shape ...int) *Tensor { return &Tensor{} }
+
+// Put returns a buffer to this pool.
+func (p *Pool) Put(t *Tensor) {}

@@ -1,0 +1,58 @@
+// Package p exercises pool borrow/release balance and escape detection.
+package p
+
+import "quickdrop/internal/tensor"
+
+type holder struct{ buf *tensor.Tensor }
+
+func balanced(x *tensor.Tensor) {
+	buf := tensor.GetLike(x)
+	defer tensor.Put(buf)
+	buf.Sum()
+}
+
+func sliceBalanced(xs []*tensor.Tensor) {
+	bufs := make([]*tensor.Tensor, len(xs))
+	for i := range xs {
+		bufs[i] = tensor.GetLike(xs[i])
+	}
+	defer tensor.PutAll(bufs)
+}
+
+func viaPool(p *tensor.Pool) {
+	buf := p.Get(2, 2)
+	defer p.Put(buf)
+}
+
+func scalarOK(x *tensor.Tensor) float64 {
+	buf := tensor.GetLike(x)
+	defer tensor.Put(buf)
+	return buf.Sum()
+}
+
+func leaks(x *tensor.Tensor) {
+	buf := tensor.GetLike(x) // want "pool Get has no matching"
+	_ = buf
+}
+
+func escapes(x *tensor.Tensor) *tensor.Tensor {
+	buf := tensor.GetLike(x) // want "escapes via a return or field store"
+	return buf
+}
+
+func directReturn(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.GetLike(x) // want "pooled tensor is returned"
+}
+
+func fieldStore(h *holder, x *tensor.Tensor) {
+	h.buf = tensor.GetLike(x) // want "stored in a field"
+}
+
+func discarded(x *tensor.Tensor) {
+	_ = tensor.GetLike(x) // want "result is discarded"
+}
+
+func suppressed(x *tensor.Tensor) {
+	buf := tensor.Get(4) //lint:allow poolbalance handed to a registry that Puts on shutdown
+	_ = buf
+}

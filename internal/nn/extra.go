@@ -134,7 +134,7 @@ func TopKAccuracy(logits *tensor.Tensor, labels []int, k int) float64 {
 		return 0
 	}
 	if logits.Dims() != 2 || logits.Dim(0) != len(labels) {
-		panic(fmt.Sprintf("nn: TopKAccuracy logits %v vs %d labels", logits.Shape(), len(labels)))
+		panic(fmt.Sprintf("nn: TopKAccuracy logits %s vs %d labels", logits.ShapeString(), len(labels)))
 	}
 	classes := logits.Dim(1)
 	if k > classes {

@@ -79,7 +79,7 @@ func (n *InstanceNorm) Params() []*Param { return []*Param{n.gamma, n.beta} }
 // nested backward graphs) never materialize a broadcast feature map.
 func (n *InstanceNorm) Forward(x *ad.Value, ps []*ad.Value) *ad.Value {
 	if x.Data.Dims() != 4 || x.Data.Dim(3) != n.Channels {
-		panic(fmt.Sprintf("nn: InstanceNorm expects [B,H,W,%d], got %v", n.Channels, x.Data.Shape()))
+		panic(fmt.Sprintf("nn: InstanceNorm expects [B,H,W,%d], got %s", n.Channels, x.Data.ShapeString()))
 	}
 	area := float64(x.Data.Dim(1) * x.Data.Dim(2))
 	mean := ad.Scale(ad.SumAxes(x, 1, 2), 1/area) // [B,1,1,C]

@@ -25,7 +25,7 @@ func OneHot(labels []int, classes int) *tensor.Tensor {
 // The log-sum-exp is stabilized by subtracting the detached row-wise max.
 func CrossEntropy(logits *ad.Value, oneHot *tensor.Tensor) *ad.Value {
 	if logits.Data.Dims() != 2 || !oneHot.SameShape(logits.Data) {
-		panic(fmt.Sprintf("nn: CrossEntropy logits %v vs targets %v", logits.Data.Shape(), oneHot.Shape()))
+		panic(fmt.Sprintf("nn: CrossEntropy logits %s vs targets %s", logits.Data.ShapeString(), oneHot.ShapeString()))
 	}
 	b, c := logits.Data.Dim(0), logits.Data.Dim(1)
 
@@ -56,7 +56,7 @@ func CrossEntropy(logits *ad.Value, oneHot *tensor.Tensor) *ad.Value {
 // Softmax returns row-wise softmax probabilities for a logits tensor.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 	if logits.Dims() != 2 {
-		panic(fmt.Sprintf("nn: Softmax expects a matrix, got %v", logits.Shape()))
+		panic(fmt.Sprintf("nn: Softmax expects a matrix, got %s", logits.ShapeString()))
 	}
 	b, c := logits.Dim(0), logits.Dim(1)
 	out := logits.Clone()

@@ -120,7 +120,7 @@ func (m *Model) SetParams(src []*tensor.Tensor) {
 	}
 	for i, p := range m.params {
 		if !p.Data.SameShape(src[i]) {
-			panic(fmt.Sprintf("nn: SetParams shape mismatch at %q: %v vs %v", p.Name, p.Data.Shape(), src[i].Shape()))
+			panic(fmt.Sprintf("nn: SetParams shape mismatch at %q: %s vs %s", p.Name, p.Data.ShapeString(), src[i].ShapeString()))
 		}
 		copy(p.Data.Data(), src[i].Data())
 	}
@@ -218,7 +218,7 @@ func (m *Model) LoadFrom(r io.Reader) error {
 			return fmt.Errorf("nn: read param %q: %w", p.Name, err)
 		}
 		if !t.SameShape(p.Data) {
-			return fmt.Errorf("nn: param %q shape %v does not match stored %v", p.Name, p.Data.Shape(), t.Shape())
+			return fmt.Errorf("nn: param %q shape %s does not match stored %s", p.Name, p.Data.ShapeString(), t.ShapeString())
 		}
 		copy(p.Data.Data(), t.Data())
 	}

@@ -336,6 +336,7 @@ func BroadcastToInto(dst, a *Tensor, shape ...int) *Tensor {
 }
 
 // BroadcastLikeInto expands size-1 dimensions of a to ref's shape.
+// dst must not alias a (the expansion reads a while writing dst).
 func BroadcastLikeInto(dst, a, ref *Tensor) *Tensor {
 	return BroadcastToInto(dst, a, ref.shape...)
 }
@@ -348,17 +349,20 @@ func BroadcastLikeInto(dst, a, ref *Tensor) *Tensor {
 // the same rank as a with size 1 on the broadcast axes. dst may alias a
 // (position-wise independent in the full index); it must not alias b.
 
-// AddBcastInto computes dst = a + broadcast(b).
+// AddBcastInto computes dst = a + broadcast(b). dst may alias a; it
+// must not alias b.
 func AddBcastInto(dst, a, b *Tensor) *Tensor {
 	return bcastBinary(dst, a, b, "AddBcastInto", func(x, y float64) float64 { return x + y })
 }
 
-// SubBcastInto computes dst = a - broadcast(b).
+// SubBcastInto computes dst = a - broadcast(b). dst may alias a; it
+// must not alias b.
 func SubBcastInto(dst, a, b *Tensor) *Tensor {
 	return bcastBinary(dst, a, b, "SubBcastInto", func(x, y float64) float64 { return x - y })
 }
 
-// MulBcastInto computes dst = a ⊙ broadcast(b).
+// MulBcastInto computes dst = a ⊙ broadcast(b). dst may alias a; it
+// must not alias b.
 func MulBcastInto(dst, a, b *Tensor) *Tensor {
 	dst = prepDst(dst, a.shape, "MulBcastInto")
 	mustNoAlias(dst, "MulBcastInto", b)
@@ -464,6 +468,8 @@ func mulSumToShape(dst, a, b *Tensor) {
 // rows are sharded across GOMAXPROCS goroutines; each row is produced by
 // exactly one goroutine running the sequential kernel, so the result is
 // bitwise identical to the sequential product.
+//
+//lint:hotpath
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k, n := matMulDims(a, b, false, false)
 	dst = prepDst(dst, []int{m, n}, "MatMulInto")

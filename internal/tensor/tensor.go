@@ -93,6 +93,10 @@ func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
 // Shape returns a copy of the tensor's shape.
 func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
 
+// ShapeString renders the shape as "[d0 d1 …]" without cloning it — the
+// form diagnostics should use instead of formatting Shape() with %v.
+func (t *Tensor) ShapeString() string { return shapeStr(t.shape) }
+
 // Dims returns the number of dimensions.
 func (t *Tensor) Dims() int { return len(t.shape) }
 
@@ -168,7 +172,8 @@ func (t *Tensor) ViewLike(ref *Tensor) *Tensor { return t.View(ref.shape...) }
 
 // ViewInto writes a reshaped view of t (shared storage) into the
 // caller-provided header dst — typically an autodiff node's inline tensor
-// — and returns dst. dst must be a zero-valued header.
+// — and returns dst. dst must be a zero-valued header; the result
+// deliberately aliases t's storage, that is the point of a view.
 func ViewInto(dst, t *Tensor, shape ...int) *Tensor {
 	t.mustLive("ViewInto")
 	n := checkShape(shape)
@@ -183,7 +188,8 @@ func ViewInto(dst, t *Tensor, shape ...int) *Tensor {
 	return dst
 }
 
-// ViewLikeInto is ViewInto with the shape taken from ref.
+// ViewLikeInto is ViewInto with the shape taken from ref; like ViewInto
+// the result deliberately aliases t's storage.
 func ViewLikeInto(dst, t, ref *Tensor) *Tensor { return ViewInto(dst, t, ref.shape...) }
 
 // RowsView returns rows [lo, hi) of a matrix as a view sharing t's

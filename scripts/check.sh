@@ -1,7 +1,6 @@
 #!/usr/bin/env sh
-# check.sh — repository hygiene gate: formatting, vet, and race-enabled
-# tests on the packages with concurrent kernels (tensor) and concurrent
-# training loops (fl). Run via `make check`.
+# check.sh — repository hygiene gate: formatting, vet, the quickdroplint
+# static-analysis suite, and race-enabled tests. Run via `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,7 +16,17 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race ./internal/fl/... ./internal/tensor/..."
-go test -race ./internal/fl/... ./internal/tensor/...
+echo "==> quickdroplint ./..."
+go run ./cmd/quickdroplint ./...
+
+# Race gate: every package except internal/core. Measured on the CI
+# container (2026-08): the non-core tree finishes in ~80 s under -race,
+# while internal/core's end-to-end train/unlearn/relearn cycles exceed a
+# 10-minute timeout (they multiply full FL training by the race
+# detector's ~10x slowdown). core's tests still run race-free in
+# `make test`; its concurrency lives in the tensor/fl layers covered
+# here.
+echo "==> go test -race (all packages except internal/core)"
+go test -race $(go list ./... | grep -v 'internal/core$')
 
 echo "check.sh: all clean"
