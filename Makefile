@@ -19,9 +19,12 @@ check:
 lint:
 	$(GO) run ./cmd/quickdroplint ./...
 
-# Allocation-focused benchmarks for the compute backbone.
+# Headline benchmarks (gradient-matching step, FedAvg round,
+# unlearn+recover), written to BENCH_<stamp>.json. BENCHTIME=10x for
+# more iterations; the full tensor-kernel suite stays available via
+# `go test -bench . ./internal/tensor/`.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./internal/tensor/
+	sh scripts/bench.sh
 
 fmt:
 	gofmt -w .

@@ -17,12 +17,15 @@ import (
 	"time"
 
 	"quickdrop/internal/experiments"
+	"quickdrop/internal/telemetry"
 )
 
 func main() {
 	id := flag.String("id", "all", "experiment id (tableN, figN, ablation-*, ext-sample, all)")
 	scaleName := flag.String("scale", "quick", "scale preset: quick|standard|large")
 	repeats := flag.Int("repeats", 1, "average method tables and ablations over this many seeds (paper: 5)")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
+	eventsOut := flag.String("events", "", "append JSONL cost events to this file")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -30,6 +33,28 @@ func main() {
 		fatal(err)
 	}
 	sc.Repeats = *repeats
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(0)
+		// Pre-register enough per-client series for every harness (they
+		// use at most 10 clients).
+		sc.Telemetry = telemetry.NewPipeline(reg, tracer, 16)
+		srv, err := telemetry.Serve(*telAddr, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: serving on http://%s/metrics\n", srv.Addr())
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		sc.Events = telemetry.NewEventLog(f)
+	}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = experiments.IDs()

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	fedsim -dataset mnistlike -clients 10 -rounds 20 -alpha 0.1
+//
+// With -telemetry-addr, fedsim serves Prometheus metrics on
+// /metrics, expvar on /debug/vars and pprof on /debug/pprof while
+// training (use ":0" for an ephemeral port; the bound address is
+// printed). -telemetry-linger keeps the endpoint up after training so
+// scrapers can collect the final state.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		every      = flag.Int("eval-every", 5, "evaluate every N rounds")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-client runtime")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
+		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after training")
 	)
 	flag.Parse()
 
@@ -53,12 +62,26 @@ func main() {
 	model := nn.NewConvNet(setup.Arch, rand.New(rand.NewSource(*seed)))
 	rng := rand.New(rand.NewSource(*seed + 1))
 
+	var pipe *telemetry.Pipeline
+	var srv *telemetry.Server
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(0)
+		pipe = telemetry.NewPipeline(reg, tracer, *clients)
+		srv, err = telemetry.Serve(*telAddr, reg, tracer)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: serving on http://%s/metrics\n", srv.Addr())
+	}
+
 	fmt.Printf("fedsim: %s, %d clients, alpha=%.2g, heterogeneity=%.3f, %d params\n",
 		*dataset, *clients, *alpha, data.HeterogeneityStat(setup.Clients), model.NumParams())
 
 	var counter optim.Counter
 	factory := func() *nn.Model { return nn.NewConvNet(setup.Arch, rand.New(rand.NewSource(*seed))) }
-	start := time.Now()
+	start := telemetry.StartTimer()
 	done := 0
 	for done < *rounds {
 		step := *every
@@ -68,6 +91,7 @@ func main() {
 		cfg := fl.PhaseConfig{
 			Rounds: step, LocalSteps: *steps, BatchSize: *batch, LR: *lr,
 			Participation: *partic, Counter: &counter,
+			Telemetry: pipe, Phase: "train",
 		}
 		var err error
 		if *concurrent {
@@ -80,7 +104,12 @@ func main() {
 		}
 		done += step
 		fmt.Printf("round %3d: test accuracy %.2f%% (%s elapsed, %d grad evals)\n",
-			done, 100*eval.Accuracy(model, setup.Test), time.Since(start).Round(time.Millisecond), counter.GradEvals)
+			done, 100*eval.Accuracy(model, setup.Test), start.Elapsed().Round(time.Millisecond), counter.GradEvals)
+	}
+	pipe.Close()
+	if srv != nil && *telLinger > 0 {
+		fmt.Printf("telemetry: lingering %s on http://%s/metrics\n", *telLinger, srv.Addr())
+		time.Sleep(*telLinger)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"quickdrop/internal/core"
 	"quickdrop/internal/eval"
 	"quickdrop/internal/experiments"
+	"quickdrop/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 		saveState     = flag.String("save", "", "persist full system state (model + synthetic sets + forget ledger) to this file")
 		loadState     = flag.String("load", "", "restore system state instead of training")
 		seed          = flag.Int64("seed", 1, "random seed")
+		telAddr       = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
+		eventsOut     = flag.String("events", "", "append JSONL telemetry events (spans) to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +51,22 @@ func main() {
 	}
 	cfg := setup.CoreConfig()
 	cfg.Distill.Scale = *distillScale
+
+	var tracer *telemetry.Tracer
+	if *telAddr != "" || *eventsOut != "" {
+		reg := telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(0)
+		cfg.Telemetry = telemetry.NewPipeline(reg, tracer, *clients)
+		if *telAddr != "" {
+			srv, err := telemetry.Serve(*telAddr, reg, tracer)
+			if err != nil {
+				fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Printf("telemetry: serving on http://%s/metrics\n", srv.Addr())
+		}
+	}
+
 	sys, err := core.NewSystem(cfg, setup.Clients)
 	if err != nil {
 		fatal(err)
@@ -131,6 +150,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("model written to %s\n", *modelOut)
+	}
+
+	if *eventsOut != "" {
+		cfg.Telemetry.Close()
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatal(err)
+		}
+		log := telemetry.NewEventLog(f)
+		log.EmitSpans(tracer)
+		if err := log.Err(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry events written to %s\n", *eventsOut)
 	}
 }
 

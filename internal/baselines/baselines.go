@@ -16,7 +16,6 @@ package baselines
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
@@ -24,6 +23,7 @@ import (
 	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 )
 
 // Result reports the cost of serving one unlearning request.
@@ -87,7 +87,10 @@ type Config struct {
 	// "recover", "relearn") after each pipeline stage, mirroring
 	// core.Config.Observer.
 	Observer func(stage string)
-	Seed     int64
+	// Telemetry, if set, instruments every phase the baseline runs with
+	// the same pipeline core.Config.Telemetry uses. Nil is free.
+	Telemetry *telemetry.Pipeline
+	Seed      int64
 }
 
 // DefaultConfig mirrors core.DefaultConfig's phase structure on original
@@ -135,8 +138,10 @@ func newBase(cfg Config, clients []*data.Dataset) (*base, error) {
 
 func (b *base) Model() *nn.Model { return b.model }
 
-// phaseConfig converts core.PhaseParams into an fl.PhaseConfig.
-func phaseConfig(p core.PhaseParams, dir optim.Direction, counter *optim.Counter) fl.PhaseConfig {
+// phaseConfig converts core.PhaseParams into an fl.PhaseConfig named
+// phase for telemetry.
+func phaseConfig(p core.PhaseParams, dir optim.Direction, counter *optim.Counter,
+	tel *telemetry.Pipeline, phase string) fl.PhaseConfig {
 	return fl.PhaseConfig{
 		Rounds:        p.Rounds,
 		LocalSteps:    p.LocalSteps,
@@ -145,6 +150,8 @@ func phaseConfig(p core.PhaseParams, dir optim.Direction, counter *optim.Counter
 		Dir:           dir,
 		Participation: p.Participation,
 		Counter:       counter,
+		Telemetry:     tel,
+		Phase:         phase,
 	}
 }
 
@@ -153,7 +160,7 @@ func (b *base) trainInitial(extra func(*fl.PhaseConfig)) error {
 	if b.prepared {
 		return fmt.Errorf("baselines: already prepared")
 	}
-	cfg := phaseConfig(b.cfg.Train, optim.Descend, &b.counter)
+	cfg := phaseConfig(b.cfg.Train, optim.Descend, &b.counter, b.cfg.Telemetry, "train")
 	if extra != nil {
 		extra(&cfg)
 	}
@@ -243,13 +250,13 @@ func (b *base) retainShards() []*data.Dataset {
 }
 
 // runPhase executes one FedAvg phase over shards and returns its cost.
-func (b *base) runPhase(shards []*data.Dataset, p core.PhaseParams, dir optim.Direction) (eval.Cost, error) {
-	start := time.Now()
-	res, err := fl.RunPhase(b.model, shards, phaseConfig(p, dir, &b.counter), b.rng)
+// The wall time comes from the telemetry phase timer inside RunPhase.
+func (b *base) runPhase(shards []*data.Dataset, p core.PhaseParams, dir optim.Direction, phase string) (eval.Cost, error) {
+	res, err := fl.RunPhase(b.model, shards, phaseConfig(p, dir, &b.counter, b.cfg.Telemetry, phase), b.rng)
 	if err != nil {
 		return eval.Cost{}, err
 	}
-	return eval.Cost{Rounds: res.Rounds, WallTime: time.Since(start), DataSize: shardTotal(shards)}, nil
+	return eval.Cost{Rounds: res.Rounds, WallTime: res.WallTime, DataSize: shardTotal(shards)}, nil
 }
 
 // relearnOriginal is the shared relearning implementation: standard SGD
@@ -269,7 +276,7 @@ func (b *base) relearnOriginal(req core.Request) (Result, error) {
 		return Result{}, err
 	}
 	var res Result
-	res.Recover, err = b.runPhase(shards, b.cfg.RelearnPhase, optim.Descend)
+	res.Recover, err = b.runPhase(shards, b.cfg.RelearnPhase, optim.Descend, "relearn")
 	if err != nil {
 		return res, err
 	}

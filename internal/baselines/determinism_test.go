@@ -5,6 +5,7 @@ import (
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
+	"quickdrop/internal/telemetry"
 )
 
 // newMethod constructs one baseline by name from fresh config and data.
@@ -34,12 +35,13 @@ func newMethod(t *testing.T, name string, cfg Config, clients []*data.Dataset) M
 
 // runToParams executes Prepare + Unlearn from scratch and returns the
 // final global parameters' raw element slices.
-func runToParams(t *testing.T, name string, req core.Request) [][]float64 {
+func runToParams(t *testing.T, name string, req core.Request, tel *telemetry.Pipeline) [][]float64 {
 	t.Helper()
 	clients, _ := testClients(t, 2, 4, 7)
 	cfg := testConfig()
 	cfg.Train.Rounds = 4
 	cfg.RetrainRounds = 4
+	cfg.Telemetry = tel
 	m := newMethod(t, name, cfg, clients)
 	if err := m.Prepare(); err != nil {
 		t.Fatal(err)
@@ -60,6 +62,8 @@ func runToParams(t *testing.T, name string, req core.Request) [][]float64 {
 // be bitwise identical. This is the auditability property the
 // determinism lint rule protects: an unlearning run that cannot be
 // replayed exactly cannot be verified against a certified transcript.
+// The second run carries a live telemetry pipeline: observing a run
+// must never change it.
 func TestBaselinesBitwiseDeterministic(t *testing.T) {
 	cases := []struct {
 		name string
@@ -76,8 +80,9 @@ func TestBaselinesBitwiseDeterministic(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			first := runToParams(t, c.name, c.req)
-			second := runToParams(t, c.name, c.req)
+			first := runToParams(t, c.name, c.req, nil)
+			second := runToParams(t, c.name, c.req,
+				telemetry.NewPipeline(telemetry.NewRegistry(), telemetry.NewTracer(0), 2))
 			if len(first) != len(second) {
 				t.Fatalf("param count differs: %d vs %d", len(first), len(second))
 			}

@@ -3,7 +3,6 @@ package baselines
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
@@ -93,7 +92,9 @@ func (f *FedEraser) Unlearn(req core.Request) (Result, error) {
 	retain := f.retainShards()
 
 	var res Result
-	start := time.Now()
+	// Calibrated replay runs outside RunPhase, so it gets its own
+	// telemetry phase.
+	pt := f.cfg.Telemetry.StartPhase("calibrate")
 	f.model.SetParams(f.initParams)
 	replayed := 0
 	samples := 0
@@ -107,11 +108,11 @@ func (f *FedEraser) Unlearn(req core.Request) (Result, error) {
 		}
 		replayed++
 	}
-	res.Unlearn = eval.Cost{Rounds: replayed, WallTime: time.Since(start), DataSize: samples}
+	res.Unlearn = eval.Cost{Rounds: replayed, WallTime: pt.Stop(), DataSize: samples}
 	f.observe("unlearn")
 
 	var err error
-	res.Recover, err = f.runPhase(retain, f.cfg.RecoverPhase, optim.Descend)
+	res.Recover, err = f.runPhase(retain, f.cfg.RecoverPhase, optim.Descend, "recover")
 	if err != nil {
 		return res, err
 	}

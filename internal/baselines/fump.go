@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
@@ -61,16 +60,18 @@ func (f *FUMP) Unlearn(req core.Request) (Result, error) {
 	}
 
 	var res Result
-	start := time.Now()
+	// Pruning is FU-MP's whole unlearning stage: time it as its own
+	// telemetry phase rather than as FedAvg rounds.
+	pt := f.cfg.Telemetry.StartPhase("prune")
 	probed, err := f.pruneClassChannels(req.Class)
 	if err != nil {
 		return res, err
 	}
-	res.Unlearn = eval.Cost{Rounds: 1, WallTime: time.Since(start), DataSize: probed}
+	res.Unlearn = eval.Cost{Rounds: 1, WallTime: pt.Stop(), DataSize: probed}
 	f.observe("unlearn")
 	f.forget.Mark(req, true)
 
-	res.Recover, err = f.runPhase(f.retainShards(), f.cfg.RecoverPhase, optim.Descend)
+	res.Recover, err = f.runPhase(f.retainShards(), f.cfg.RecoverPhase, optim.Descend, "recover")
 	if err != nil {
 		return res, err
 	}

@@ -1,12 +1,11 @@
 package baselines
 
 import (
-	"time"
-
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 )
 
 // RetrainOr is the retraining oracle: it serves an unlearning request by
@@ -50,18 +49,20 @@ func (r *RetrainOr) Unlearn(req core.Request) (Result, error) {
 	}
 	r.forget.Mark(req, true)
 
-	start := time.Now()
+	// The stopwatch also covers model re-initialization, which the
+	// retraining phase timer inside runPhase does not see.
+	sw := telemetry.StartTimer()
 	r.model = nn.NewConvNet(r.cfg.Arch, r.rng) // fresh initialization
 	retrain := r.cfg.Train
 	retrain.Rounds = r.cfg.RetrainRounds
 	var res Result
 	var err error
-	res.Unlearn, err = r.runPhase(r.retainShards(), retrain, optim.Descend)
+	res.Unlearn, err = r.runPhase(r.retainShards(), retrain, optim.Descend, "retrain")
 	if err != nil {
 		r.forget.Mark(req, false)
 		return res, err
 	}
-	res.Unlearn.WallTime = time.Since(start)
+	res.Unlearn.WallTime = sw.Elapsed()
 	res.finish()
 	r.observe("unlearn")
 	r.observe("recover")

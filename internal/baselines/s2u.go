@@ -2,7 +2,6 @@ package baselines
 
 import (
 	"fmt"
-	"time"
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
@@ -74,7 +73,7 @@ func (s *S2U) Unlearn(req core.Request) (Result, error) {
 		samples += shards[i].Len()
 	}
 
-	cfg := phaseConfig(s.cfg.Train, optim.Descend, &s.counter)
+	cfg := phaseConfig(s.cfg.Train, optim.Descend, &s.counter, s.cfg.Telemetry, "scale")
 	cfg.Rounds = s.Rounds
 	cfg.WeightFn = func(clientID, size int) float64 {
 		if clientID == target {
@@ -82,14 +81,13 @@ func (s *S2U) Unlearn(req core.Request) (Result, error) {
 		}
 		return s.UpScale * float64(size)
 	}
-	start := time.Now()
 	res, err := fl.RunPhase(s.model, shards, cfg, s.rng)
 	if err != nil {
 		return Result{}, err
 	}
 	s.forget.Mark(req, true)
 	var out Result
-	out.Unlearn = eval.Cost{Rounds: res.Rounds, WallTime: time.Since(start), DataSize: samples}
+	out.Unlearn = eval.Cost{Rounds: res.Rounds, WallTime: res.WallTime, DataSize: samples}
 	out.finish()
 	s.observe("unlearn")
 	s.observe("recover")

@@ -49,13 +49,13 @@ func (s *SGAOr) Unlearn(req core.Request) (Result, error) {
 		return Result{}, err
 	}
 	var res Result
-	res.Unlearn, err = s.runPhase(forget, s.cfg.UnlearnPhase, optim.Ascend)
+	res.Unlearn, err = s.runPhase(forget, s.cfg.UnlearnPhase, optim.Ascend, "unlearn")
 	if err != nil {
 		return res, err
 	}
 	s.observe("unlearn")
 	s.forget.Mark(req, true)
-	res.Recover, err = s.runPhase(s.retainShards(), s.cfg.RecoverPhase, optim.Descend)
+	res.Recover, err = s.runPhase(s.retainShards(), s.cfg.RecoverPhase, optim.Descend, "recover")
 	if err != nil {
 		return res, err
 	}

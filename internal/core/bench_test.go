@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/nn"
+)
+
+// BenchmarkUnlearnRecover measures one class-level unlearn + recover
+// pass over a trained system — the cost QuickDrop optimises. Training
+// and state restoration run off the clock; each iteration replays the
+// same request against the same trained state.
+func BenchmarkUnlearnRecover(b *testing.B) {
+	spec := data.MNISTLike(8, 12)
+	train, _ := data.Generate(spec, 7)
+	parts := data.PartitionIID(train, 4, rand.New(rand.NewSource(107)))
+	cfg := DefaultConfig(nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2})
+	cfg.Seed = 7
+	cfg.Train.Rounds = 4
+	cfg.Distill.Scale = 3
+	sys, err := NewSystem(cfg, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Train(); err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := sys.SaveState(&snap); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Kind: ClassLevel, Class: 1}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// LoadState restores only into a fresh system, so each iteration
+		// rebuilds one off the clock.
+		b.StopTimer()
+		replay, err := NewSystem(cfg, parts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := replay.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := replay.Unlearn(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,7 +14,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"quickdrop/internal/data"
 	"quickdrop/internal/distill"
@@ -22,6 +21,7 @@ import (
 	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 )
 
 // RequestKind distinguishes the two unlearning granularities QuickDrop
@@ -118,7 +118,11 @@ type Config struct {
 	// harnesses can evaluate the model stage-by-stage as the paper's
 	// tables do.
 	Observer func(stage string)
-	Seed     int64
+	// Telemetry, if set, instruments every phase the system runs (metrics,
+	// spans, unlearning-request counts). Nil disables observability at
+	// zero cost and changes no numerics either way.
+	Telemetry *telemetry.Pipeline
+	Seed      int64
 }
 
 // DefaultConfig returns a configuration for the given architecture that
@@ -211,6 +215,7 @@ func (s *System) Train() (fl.PhaseResult, error) {
 		return fl.PhaseResult{}, fmt.Errorf("core: system already trained")
 	}
 	s.Matcher = distill.NewMatcher(s.Cfg.Distill, s.Clients, s.rng)
+	s.Matcher.Telemetry = s.Cfg.Telemetry
 	if s.Cfg.DistillDistance != nil {
 		s.Matcher.Distance = s.Cfg.DistillDistance
 	}
@@ -222,6 +227,8 @@ func (s *System) Train() (fl.PhaseResult, error) {
 		Participation: s.Cfg.Train.Participation,
 		Hook:          s.Matcher.Hook(),
 		Counter:       &s.Counter,
+		Telemetry:     s.Cfg.Telemetry,
+		Phase:         "train",
 	}, s.rng)
 	if err != nil {
 		return res, err
@@ -475,7 +482,7 @@ func (s *System) Unlearn(req Request) (Report, error) {
 	}
 
 	rep := Report{Request: req}
-	start := time.Now()
+	s.Cfg.Telemetry.Request(int(req.Kind) - 1)
 	uRes, err := fl.RunPhase(s.Model, forget, fl.PhaseConfig{
 		Rounds:     s.Cfg.Unlearn.Rounds,
 		LocalSteps: s.Cfg.Unlearn.LocalSteps,
@@ -483,11 +490,16 @@ func (s *System) Unlearn(req Request) (Report, error) {
 		LR:         s.Cfg.Unlearn.LR,
 		Dir:        optim.Ascend,
 		Counter:    &s.Counter,
+		Telemetry:  s.Cfg.Telemetry,
+		Phase:      "unlearn",
 	}, s.rng)
 	if err != nil {
 		return rep, fmt.Errorf("core: unlearning phase: %w", err)
 	}
-	rep.Unlearn = eval.Cost{Rounds: uRes.Rounds, WallTime: time.Since(start), DataSize: shardSize(forget)}
+	// Phase wall time comes from the telemetry phase timer inside
+	// RunPhase, so eval.Cost is populated from the same spans the
+	// exporters see.
+	rep.Unlearn = eval.Cost{Rounds: uRes.Rounds, WallTime: uRes.WallTime, DataSize: shardSize(forget)}
 	s.observe("unlearn")
 
 	// Mark removed before building retain shards so the forget data is
@@ -504,7 +516,6 @@ func (s *System) Unlearn(req Request) (Report, error) {
 		s.observe("recover")
 		return rep, nil
 	}
-	start = time.Now()
 	rRes, err := fl.RunPhase(s.Model, retain, fl.PhaseConfig{
 		Rounds:        s.Cfg.Recover.Rounds,
 		LocalSteps:    s.Cfg.Recover.LocalSteps,
@@ -512,11 +523,13 @@ func (s *System) Unlearn(req Request) (Report, error) {
 		LR:            s.Cfg.Recover.LR,
 		Participation: s.Cfg.Recover.Participation,
 		Counter:       &s.Counter,
+		Telemetry:     s.Cfg.Telemetry,
+		Phase:         "recover",
 	}, s.rng)
 	if err != nil {
 		return rep, fmt.Errorf("core: recovery phase: %w", err)
 	}
-	rep.Recover = eval.Cost{Rounds: rRes.Rounds, WallTime: time.Since(start), DataSize: shardSize(retain)}
+	rep.Recover = eval.Cost{Rounds: rRes.Rounds, WallTime: rRes.WallTime, DataSize: shardSize(retain)}
 	rep.Total = rep.Unlearn
 	rep.Total.Add(rep.Recover)
 	s.observe("recover")
@@ -541,7 +554,6 @@ func (s *System) Recover(rounds int) (eval.Cost, error) {
 		return eval.Cost{}, fmt.Errorf("core: Recover needs rounds ≥ 1")
 	}
 	retain := s.retainShards()
-	start := time.Now()
 	res, err := fl.RunPhase(s.Model, retain, fl.PhaseConfig{
 		Rounds:        rounds,
 		LocalSteps:    s.Cfg.Recover.LocalSteps,
@@ -549,11 +561,13 @@ func (s *System) Recover(rounds int) (eval.Cost, error) {
 		LR:            s.Cfg.Recover.LR,
 		Participation: s.Cfg.Recover.Participation,
 		Counter:       &s.Counter,
+		Telemetry:     s.Cfg.Telemetry,
+		Phase:         "recover",
 	}, s.rng)
 	if err != nil {
 		return eval.Cost{}, err
 	}
-	return eval.Cost{Rounds: res.Rounds, WallTime: time.Since(start), DataSize: shardSize(retain)}, nil
+	return eval.Cost{Rounds: res.Rounds, WallTime: res.WallTime, DataSize: shardSize(retain)}, nil
 }
 
 // Relearn executes step 5: SGD on the synthetic data of a previously
@@ -577,18 +591,19 @@ func (s *System) Relearn(req Request) (Report, error) {
 		return Report{}, err
 	}
 	rep := Report{Request: req}
-	start := time.Now()
 	res, err := fl.RunPhase(s.Model, forget, fl.PhaseConfig{
 		Rounds:     s.Cfg.Relearn.Rounds,
 		LocalSteps: s.Cfg.Relearn.LocalSteps,
 		BatchSize:  s.Cfg.Relearn.BatchSize,
 		LR:         s.Cfg.Relearn.LR,
 		Counter:    &s.Counter,
+		Telemetry:  s.Cfg.Telemetry,
+		Phase:      "relearn",
 	}, s.rng)
 	if err != nil {
 		return rep, fmt.Errorf("core: relearning phase: %w", err)
 	}
-	rep.Recover = eval.Cost{Rounds: res.Rounds, WallTime: time.Since(start), DataSize: shardSize(forget)}
+	rep.Recover = eval.Cost{Rounds: res.Rounds, WallTime: res.WallTime, DataSize: shardSize(forget)}
 	rep.Total = rep.Recover
 	s.observe("relearn")
 	return rep, nil

@@ -17,6 +17,7 @@ import (
 	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 	"quickdrop/internal/tensor"
 )
 
@@ -150,6 +151,9 @@ type Matcher struct {
 	DDTime time.Duration
 	// Counter tracks gradient evaluations performed for distillation.
 	Counter optim.Counter
+	// Telemetry, if set, records a distill-step span and the matching-step
+	// metrics for every MatchStep. Nil is free.
+	Telemetry *telemetry.Pipeline
 }
 
 // NewMatcher initializes synthetic sets for every client.
@@ -191,8 +195,15 @@ func (m *Matcher) MatchStep(ctx fl.StepContext) {
 	if syn == nil || syn.Len() == 0 {
 		return
 	}
-	start := time.Now() //lint:allow determinism DD-overhead accounting only; never feeds back into the numerics
-	defer func() { m.DDTime += time.Since(start) }()
+	// DD-overhead accounting (Table 6) goes through the telemetry clock:
+	// the reading feeds DDTime and the distill metrics, never the numerics.
+	sw := telemetry.StartTimer()
+	sp := m.Telemetry.StartDistill(ctx.Round, ctx.ClientID)
+	defer func() {
+		d := sw.Elapsed()
+		m.DDTime += d
+		m.Telemetry.EndDistill(sp, d)
+	}()
 
 	if grouping := m.Groupings[ctx.ClientID]; grouping != nil {
 		// Group-wise matching: each (class, group) subset matches its own

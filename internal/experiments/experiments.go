@@ -14,6 +14,7 @@ import (
 	"quickdrop/internal/data"
 	"quickdrop/internal/eval"
 	"quickdrop/internal/nn"
+	"quickdrop/internal/telemetry"
 )
 
 // Scale groups the substrate-size knobs so every experiment can run in
@@ -37,6 +38,11 @@ type Scale struct {
 	// independent seeds (the paper reports 5-run averages); 0 or 1 runs
 	// once.
 	Repeats int
+	// Telemetry, if set, instruments every system and baseline the
+	// experiments construct. Nil disables observability at zero cost.
+	Telemetry *telemetry.Pipeline
+	// Events, if set, receives one JSONL cost event per method row.
+	Events *telemetry.EventLog
 }
 
 // EffectiveRepeats returns the run count (≥ 1).
@@ -133,6 +139,7 @@ func (s *Setup) CoreConfig() core.Config {
 	// sample per held class through the ceiling, exactly as in the paper.
 	cfg.Distill.Scale = 100
 	cfg.Seed = s.Scale.Seed
+	cfg.Telemetry = s.Scale.Telemetry
 	return cfg
 }
 
@@ -149,6 +156,7 @@ func (s *Setup) BaselineConfig() baselines.Config {
 	cfg.RelearnPhase.LR = 0.05
 	cfg.RetrainRounds = s.Scale.Retrain
 	cfg.Seed = s.Scale.Seed
+	cfg.Telemetry = s.Scale.Telemetry
 	return cfg
 }
 

@@ -10,6 +10,7 @@ import (
 	"quickdrop/internal/eval"
 	"quickdrop/internal/mia"
 	"quickdrop/internal/nn"
+	"quickdrop/internal/telemetry"
 )
 
 // ExtensionSampleRow reports sample-level unlearning (the paper's §5.1
@@ -74,13 +75,13 @@ func ExtensionSampleLevel(sc Scale) ([]ExtensionSampleRow, error) {
 			if _, err := sys.Train(); err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			sw := telemetry.StartTimer()
 			rep, err := sys.Unlearn(req)
 			if err != nil {
 				return nil, err
 			}
 			total = rep.Total
-			total.WallTime = time.Since(start)
+			total.WallTime = sw.Elapsed()
 			model = sys.Model
 			removed := sys.RemovedSampleSet(targetClient)
 			forgotten = clientData.Subset(setKeys(removed))

@@ -8,6 +8,7 @@ import (
 	"quickdrop/internal/baselines"
 	"quickdrop/internal/core"
 	"quickdrop/internal/eval"
+	"quickdrop/internal/telemetry"
 )
 
 // MethodRow is one table row comparing an FU approach on a request, with
@@ -77,7 +78,28 @@ func RunMethods(setup *Setup, opts MethodRunOpts) ([]MethodRow, error) {
 			rows[i].Speedup = rows[i].Total.Speedup(oracle.Total)
 		}
 	}
+	for _, r := range rows {
+		setup.Scale.Events.Emit(costEvent{
+			Event: "cost", Dataset: setup.Dataset, Method: r.Method,
+			UnlearnRounds: r.Unlearn.Rounds, UnlearnSeconds: r.Unlearn.WallTime.Seconds(),
+			RecoverRounds: r.Recover.Rounds, RecoverSeconds: r.Recover.WallTime.Seconds(),
+			TotalSeconds: r.Total.WallTime.Seconds(), Speedup: r.Speedup,
+		})
+	}
 	return rows, nil
+}
+
+// costEvent is the JSONL record RunMethods emits per method row.
+type costEvent struct {
+	Event          string  `json:"event"`
+	Dataset        string  `json:"dataset"`
+	Method         string  `json:"method"`
+	UnlearnRounds  int     `json:"unlearn_rounds"`
+	UnlearnSeconds float64 `json:"unlearn_seconds"`
+	RecoverRounds  int     `json:"recover_rounds"`
+	RecoverSeconds float64 `json:"recover_seconds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+	Speedup        float64 `json:"speedup"`
 }
 
 func runQuickDrop(setup *Setup, opts MethodRunOpts) (MethodRow, error) {
@@ -101,11 +123,11 @@ func runQuickDrop(setup *Setup, opts MethodRunOpts) (MethodRow, error) {
 			row.RelearnRan = true
 		}
 	}
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	if _, err := sys.Train(); err != nil {
 		return row, err
 	}
-	row.TrainTime = time.Since(start)
+	row.TrainTime = sw.Elapsed()
 	rep, err := sys.Unlearn(opts.Req)
 	if err != nil {
 		return row, err
@@ -142,11 +164,11 @@ func runBaseline(setup *Setup, name string, opts MethodRunOpts) (MethodRow, erro
 		return row, err
 	}
 	row.CanRelearn = m.Capabilities().Relearn
-	start := time.Now()
+	sw := telemetry.StartTimer()
 	if err := m.Prepare(); err != nil {
 		return row, err
 	}
-	row.TrainTime = time.Since(start)
+	row.TrainTime = sw.Elapsed()
 	res, err := m.Unlearn(opts.Req)
 	if err != nil {
 		return row, err

@@ -7,6 +7,7 @@ import (
 
 	"quickdrop/internal/baselines"
 	"quickdrop/internal/core"
+	"quickdrop/internal/telemetry"
 )
 
 // Table1Row is one row of the paper's qualitative comparison (Table 1).
@@ -172,11 +173,11 @@ func Table6(sc Scale) ([]Table6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
+		sw := telemetry.StartTimer()
 		if _, err := sys.Train(); err != nil {
 			return nil, err
 		}
-		total := time.Since(start)
+		total := sw.Elapsed()
 		rows = append(rows, Table6Row{
 			Dataset:     ds,
 			TotalTime:   total,

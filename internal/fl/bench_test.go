@@ -1,0 +1,31 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"quickdrop/internal/data"
+	"quickdrop/internal/nn"
+)
+
+// BenchmarkFedAvgRound measures one full FedAvg round — broadcast,
+// local steps on every client, weighted aggregation — on the small
+// test substrate. This is the headline wall-time figure scripts/bench.sh
+// tracks for the FL layer.
+func BenchmarkFedAvgRound(b *testing.B) {
+	spec := data.MNISTLike(8, 12)
+	train, _ := data.Generate(spec, 1)
+	parts := data.PartitionIID(train, 4, rand.New(rand.NewSource(2)))
+	arch := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2}
+	model := nn.NewConvNet(arch, rand.New(rand.NewSource(3)))
+	cfg := PhaseConfig{Rounds: 1, LocalSteps: 5, BatchSize: 16, LR: 0.1}
+	rng := rand.New(rand.NewSource(4))
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPhase(model, parts, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

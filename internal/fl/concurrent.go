@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"time"
 
 	"quickdrop/internal/data"
 	"quickdrop/internal/nn"
@@ -61,7 +60,7 @@ func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFacto
 	}
 
 	res := PhaseResult{Rounds: cfg.Rounds}
-	start := time.Now()
+	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
 
 	// Mirror RunPhase's RNG layout exactly so trajectories coincide.
 	clientRngs := make([]*rand.Rand, len(clients))
@@ -84,6 +83,7 @@ func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFacto
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := selectClients(eligible, cfg.Participation, rng)
 		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
+		rs := cfg.Telemetry.StartRound(round)
 		global := model.CloneParams()
 		for _, ci := range selected {
 			select {
@@ -113,6 +113,7 @@ func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFacto
 		for _, u := range received {
 			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
 				res.Dropped++
+				cfg.Telemetry.DropUpdate()
 				continue
 			}
 			w := u.weight
@@ -130,6 +131,7 @@ func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFacto
 		}
 		if totalWeight == 0 {
 			if cfg.DropoutProb > 0 {
+				cfg.Telemetry.EndRound(rs, len(selected))
 				continue
 			}
 			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
@@ -138,8 +140,9 @@ func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFacto
 			t.ScaleInPlace(1 / totalWeight)
 		}
 		model.SetParams(agg)
+		cfg.Telemetry.EndRound(rs, len(selected))
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = pt.Stop()
 	return res, nil
 }
 
@@ -162,7 +165,9 @@ func clientWorker(ctx context.Context, clientID int, factory ModelFactory, ds *d
 					}
 				}()
 				local.SetParams(order.global)
+				cs := cfg.Telemetry.StartClient(order.round, clientID)
 				runLocalSteps(local, ds, cfg, order.round, clientID, rng)
+				cfg.Telemetry.EndClient(cs)
 				u.params = local.CloneParams()
 			}()
 			select {

@@ -15,6 +15,7 @@ import (
 	"quickdrop/internal/data"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
+	"quickdrop/internal/telemetry"
 	"quickdrop/internal/tensor"
 )
 
@@ -67,6 +68,21 @@ type PhaseConfig struct {
 	DropoutProb float64
 	// Counter, if set, accumulates gradient-evaluation costs.
 	Counter *optim.Counter
+	// Telemetry, if set, records round/client metrics and spans for this
+	// phase. A nil pipeline is free: every record call is a nil-receiver
+	// no-op and the hot path reads no clock.
+	Telemetry *telemetry.Pipeline
+	// Phase names this phase in telemetry ("train", "unlearn", …).
+	// Empty means "fedavg".
+	Phase string
+}
+
+// phaseName returns the telemetry label for this phase.
+func (c PhaseConfig) phaseName() string {
+	if c.Phase != "" {
+		return c.Phase
+	}
+	return "fedavg"
 }
 
 // Validate reports configuration errors.
@@ -112,7 +128,10 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 	}
 
 	res := PhaseResult{Rounds: cfg.Rounds}
-	start := time.Now()
+	// The phase timer replaces ad-hoc time.Now accounting: it measures
+	// wall time whether or not a telemetry pipeline is attached, and the
+	// reading flows only into PhaseResult/eval.Cost — never the numerics.
+	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
 	// Per-client RNG streams keep client behaviour independent of the
 	// participation schedule.
 	clientRngs := make([]*rand.Rand, len(clients))
@@ -127,6 +146,7 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := selectClients(eligible, cfg.Participation, rng)
 		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
+		rs := cfg.Telemetry.StartRound(round)
 
 		for i, p := range model.ParamTensors() {
 			global[i].CopyFrom(p)
@@ -137,9 +157,12 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 		totalWeight := 0.0
 		for _, ci := range selected {
 			model.SetParams(global)
+			cs := cfg.Telemetry.StartClient(round, ci)
 			runLocalSteps(model, clients[ci], cfg, round, ci, clientRngs[ci])
+			cfg.Telemetry.EndClient(cs)
 			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
 				res.Dropped++
+				cfg.Telemetry.DropUpdate()
 				continue // the client crashed; its update is lost
 			}
 			if cfg.UpdateHook != nil {
@@ -163,6 +186,7 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 				// Every participant failed this round; the server keeps
 				// the previous global model and proceeds.
 				model.SetParams(global)
+				cfg.Telemetry.EndRound(rs, len(selected))
 				continue
 			}
 			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
@@ -171,8 +195,9 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 			t.ScaleInPlace(1 / totalWeight)
 		}
 		model.SetParams(agg)
+		cfg.Telemetry.EndRound(rs, len(selected))
 	}
-	res.WallTime = time.Since(start)
+	res.WallTime = pt.Stop()
 	return res, nil
 }
 
@@ -196,6 +221,7 @@ func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round
 		if cfg.Counter != nil {
 			cfg.Counter.AddBatch(len(idx))
 		}
+		cfg.Telemetry.LocalStep(clientID, len(idx))
 		if cfg.Hook != nil {
 			cfg.Hook(StepContext{
 				Round: round, Step: step, ClientID: clientID,

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Determinism guards the bit-for-bit reproducibility contract (DESIGN
@@ -12,39 +13,33 @@ import (
 //
 //   - no package-level math/rand source anywhere in the module — all
 //     randomness flows through an injected, seeded *rand.Rand;
-//   - no time.Now inside the numeric-kernel packages (tensor, autodiff,
-//     nn, optim, distill), where wall-clock reads either leak into
-//     results or mask nondeterminism; accounting layers above may
-//     measure time (and distill's DD-overhead meter carries a reasoned
-//     //lint:allow);
+//   - no time.Now or time.Since inside any internal/ package:
+//     internal/telemetry is the module's single wall-clock authority
+//     (its clock.go carries the one reasoned //lint:allow), and every
+//     other layer must take its readings through telemetry's Stopwatch
+//     so clock values can never leak into numerics or mask
+//     nondeterminism; commands under cmd/ may read the clock for
+//     user-facing progress output;
 //   - no floating-point or tensor accumulation driven by ranging over a
 //     map: map iteration order reorders the reduction and changes the
 //     rounded result run to run.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "no global rand, no wall clock in kernels, no map-ordered accumulation",
+	Doc:  "no global rand, no wall clock outside telemetry, no map-ordered accumulation",
 	Run:  runDeterminism,
-}
-
-// kernelPkgSuffixes are the numeric packages where wall-clock reads are
-// forbidden.
-var kernelPkgSuffixes = []string{
-	"internal/tensor", "internal/autodiff", "internal/nn", "internal/optim", "internal/distill",
 }
 
 // allowedRandFuncs construct seeded generators rather than drawing from
 // the global source.
 var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
+// wallClockFuncs are the time package's wall-clock reads. (time.Since
+// is time.Now().Sub(t) in disguise.)
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true}
+
 func runDeterminism(pass *Pass) {
 	info := pass.Pkg.Info
-	kernel := false
-	for _, s := range kernelPkgSuffixes {
-		if hasPathSuffix(pass.Pkg.Path, s) {
-			kernel = true
-			break
-		}
-	}
+	internal := strings.Contains(pass.Pkg.Path, "internal/")
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -57,8 +52,8 @@ func runDeterminism(pass *Pass) {
 				if (pkg == "math/rand" || pkg == "math/rand/v2") && recvNamed(fn) == nil && !allowedRandFuncs[fn.Name()] {
 					pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand source; inject a seeded *rand.Rand instead", fn.Name())
 				}
-				if kernel && pkg == "time" && fn.Name() == "Now" && recvNamed(fn) == nil {
-					pass.Reportf(n.Pos(), "time.Now in numeric-kernel package %s; wall-clock reads do not belong in kernels", pass.Pkg.Types.Name())
+				if internal && pkg == "time" && wallClockFuncs[fn.Name()] && recvNamed(fn) == nil {
+					pass.Reportf(n.Pos(), "time.%s in internal package %s; read the clock through internal/telemetry (Stopwatch/Now), the module's wall-clock authority", fn.Name(), pass.Pkg.Types.Name())
 				}
 			case *ast.RangeStmt:
 				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {

@@ -54,6 +54,17 @@ var allocFmtFuncs = map[string]bool{
 }
 
 func runHotPathAlloc(pass *Pass) {
+	for fn, fd := range hotReachable(pass) {
+		checkHotFunc(pass, fd, fn.Name())
+	}
+}
+
+// hotReachable returns the package's functions statically reachable
+// from its //lint:hotpath roots, mapped to their declarations. The call
+// graph is same-package only: cross-package callees are checked at
+// their own call sites, not followed. Shared by the hotpathalloc and
+// telemetry analyzers so both agree on what "the hot path" is.
+func hotReachable(pass *Pass) map[*types.Func]*ast.FuncDecl {
 	info := pass.Pkg.Info
 
 	// Collect this package's function declarations and the hot roots.
@@ -76,14 +87,14 @@ func runHotPathAlloc(pass *Pass) {
 		}
 	}
 	if len(roots) == 0 {
-		return
+		return nil
 	}
 
 	// Static same-package call graph, then BFS from the roots.
-	reachable := make(map[*types.Func]bool)
+	reachable := make(map[*types.Func]*ast.FuncDecl, len(roots))
 	queue := append([]*types.Func(nil), roots...)
 	for _, r := range roots {
-		reachable[r] = true
+		reachable[r] = decls[r]
 	}
 	for len(queue) > 0 {
 		fn := queue[0]
@@ -98,20 +109,20 @@ func runHotPathAlloc(pass *Pass) {
 				return true
 			}
 			callee := calleeFunc(info, call)
-			if callee == nil || reachable[callee] {
+			if callee == nil {
 				return true
 			}
-			if _, local := decls[callee]; local {
-				reachable[callee] = true
+			if _, seen := reachable[callee]; seen {
+				return true
+			}
+			if decl, local := decls[callee]; local {
+				reachable[callee] = decl
 				queue = append(queue, callee)
 			}
 			return true
 		})
 	}
-
-	for fn := range reachable {
-		checkHotFunc(pass, decls[fn], fn.Name())
-	}
+	return reachable
 }
 
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl, name string) {

@@ -76,6 +76,7 @@ func All() []*Analyzer {
 		HotPathAlloc,
 		IntoAlias,
 		PoolBalance,
+		Telemetry,
 	}
 }
 

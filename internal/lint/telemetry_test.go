@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestTelemetryGolden(t *testing.T) {
+	runGolden(t, Telemetry)
+}

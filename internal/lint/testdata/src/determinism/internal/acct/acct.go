@@ -1,0 +1,18 @@
+// Package acct stubs an accounting layer: internal/ packages may not
+// read the wall clock directly — not even for cost reporting — because
+// internal/telemetry owns the module's clock.
+package acct
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in internal package"
+}
+
+func cost(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in internal package"
+}
+
+func budget(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) // ok: pure duration arithmetic, no clock read
+}

@@ -1,0 +1,9 @@
+// Package telemetry stubs the module's wall-clock authority: the one
+// place a clock read is legitimate, behind a reasoned suppression.
+package telemetry
+
+import "time"
+
+func nowNanos() int64 {
+	return time.Now().UnixNano() //lint:allow determinism telemetry is the module's sole wall-clock authority; readings feed reports, never numerics
+}

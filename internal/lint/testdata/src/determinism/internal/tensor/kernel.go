@@ -27,5 +27,5 @@ func newRng(seed int64) *rand.Rand {
 }
 
 func timed() int64 {
-	return time.Now().UnixNano() // want "time.Now in numeric-kernel package"
+	return time.Now().UnixNano() // want "time.Now in internal package"
 }

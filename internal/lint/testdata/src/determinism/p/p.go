@@ -15,7 +15,7 @@ func pick(n int) int {
 }
 
 func measure() time.Time {
-	return time.Now() // ok: accounting layer may read the clock
+	return time.Now() // ok: outside internal/ — commands may read the clock
 }
 
 func reduce(m map[string]float64) float64 {

@@ -1,0 +1,44 @@
+// Package telemetry stubs the observability API surface for the
+// telemetry golden tests: atomic record paths next to allocating
+// constructors and snapshot/export calls.
+package telemetry
+
+// Counter is an atomic counter handle.
+type Counter struct{ v int64 }
+
+// Inc is a record path (allocation-free).
+func (c *Counter) Inc() { c.v++ }
+
+// Value is a read path (allocation-free).
+func (c *Counter) Value() int64 { return c.v }
+
+// Registry owns metric registration.
+type Registry struct{ names []string }
+
+// NewRegistry allocates a registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewCounter registers a metric — setup-time only.
+func (r *Registry) NewCounter(name string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+// Span is a live span handle.
+type Span struct{ id uint64 }
+
+// Tracer records spans into a ring buffer.
+type Tracer struct{ ring []uint64 }
+
+// Start opens a span (record path).
+func (t *Tracer) Start(kind int) Span { return Span{id: uint64(kind)} }
+
+// End closes a span (record path).
+func (s Span) End() int64 { return int64(s.id) }
+
+// Snapshot copies the ring out — reporting only.
+func (t *Tracer) Snapshot() []uint64 {
+	out := make([]uint64, len(t.ring))
+	copy(out, t.ring)
+	return out
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import "testing"
+
+// The acceptance bar for the whole package: every record path that the
+// training and distillation hot loops touch must be allocation-free —
+// both with telemetry enabled and with it disabled (nil handles). The
+// `telemetry` quickdroplint rule enforces the same property statically.
+
+func TestRecordPathsDoNotAllocate(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	p := NewPipeline(reg, tr, 8)
+	h := reg.Histogram("alloc_test_seconds", "", nil)
+	c := reg.Counter("alloc_test_total", "")
+	g := reg.Gauge("alloc_test_gauge", "")
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.01) }},
+		{"CounterVec.At.Inc", func() { p.LocalSteps.At(3).Inc() }},
+		{"Pipeline.LocalStep", func() { p.LocalStep(3, 32) }},
+		{"Pipeline.DropUpdate", func() { p.DropUpdate() }},
+		{"Span.StartEnd", func() { tr.Start(SpanClientStep, "client", 1, 0, 3).End() }},
+		{"Pipeline.ClientSpan", func() { p.EndClient(p.StartClient(0, 3)) }},
+		{"Stopwatch", func() { _ = StartTimer().Elapsed() }},
+	}
+	for _, tc := range cases {
+		tc.fn() // warm up (first ring append etc.)
+		if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}
+
+func TestDisabledRecordPathsDoNotAllocate(t *testing.T) {
+	var p *Pipeline
+	var c *Counter
+	var h *Histogram
+	var tr *Tracer
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"nil Counter.Inc", func() { c.Inc() }},
+		{"nil Histogram.Observe", func() { h.Observe(1) }},
+		{"nil Pipeline.LocalStep", func() { p.LocalStep(0, 32) }},
+		{"nil Tracer span", func() { tr.Start(SpanClientStep, "client", 0, 0, 0).End() }},
+		{"nil Pipeline client span", func() { p.EndClient(p.StartClient(0, 0)) }},
+		{"nil Pipeline distill span", func() { p.EndDistill(p.StartDistill(0, 0), 0) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEventLogEmit(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	type costEvent struct {
+		Event  string  `json:"event"`
+		Method string  `json:"method"`
+		Rounds int     `json:"rounds"`
+		Sec    float64 `json:"seconds"`
+	}
+	l.Emit(costEvent{"cost", "quickdrop", 12, 0.5})
+	l.Emit(costEvent{"cost", "retrain", 40, 2})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	// Struct marshaling keeps field order fixed — byte-identical logs
+	// for identical event sequences.
+	if lines[0] != `{"event":"cost","method":"quickdrop","rounds":12,"seconds":0.5}` {
+		t.Errorf("line 0 = %s", lines[0])
+	}
+	var back costEvent
+	if err := json.Unmarshal([]byte(lines[1]), &back); err != nil || back.Rounds != 40 {
+		t.Errorf("round-trip failed: %v %+v", err, back)
+	}
+}
+
+func TestEventLogEmitSpans(t *testing.T) {
+	fakeClock(t)
+	tr := NewTracer(4)
+	tr.Start(SpanRound, "round", 1, 2, -1).End()
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.EmitSpans(tr)
+	line := strings.TrimSpace(sb.String())
+	var rec struct {
+		Event  string `json:"event"`
+		Kind   string `json:"kind"`
+		Name   string `json:"name"`
+		Round  int    `json:"round"`
+		Parent uint64 `json:"parent"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Event != "span" || rec.Kind != "round" || rec.Round != 2 || rec.Parent != 1 {
+		t.Errorf("span event wrong: %+v from %s", rec, line)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestEventLogStickyError(t *testing.T) {
+	l := NewEventLog(failWriter{})
+	l.Emit(struct{ A int }{1})
+	if l.Err() == nil {
+		t.Fatal("want sticky write error")
+	}
+	l.Emit(struct{ A int }{2}) // must not panic or clear the error
+	if l.Err() == nil {
+		t.Fatal("error should stick")
+	}
+}
+
+func TestNilEventLog(t *testing.T) {
+	var l *EventLog
+	l.Emit(struct{}{})
+	l.EmitSpans(NewTracer(1))
+	if l.Err() != nil {
+		t.Fatal("nil log should be a silent discard sink")
+	}
+}

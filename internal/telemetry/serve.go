@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests (or repeated Serve calls) may start
+// several servers in one process.
+var publishOnce sync.Once
+
+// Server is a live telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (e.g. ":9090" or "127.0.0.1:0")
+// exposing:
+//
+//	/metrics     Prometheus text exposition of reg
+//	/debug/vars  expvar (plus a "quickdrop_spans" variable: span counts)
+//	/debug/pprof net/http/pprof profiles
+//
+// It returns once the listener is bound; requests are served on a
+// background goroutine until Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("quickdrop_spans", expvar.Func(func() any {
+			return map[string]any{"retained": tr.Len(), "total": tr.Total()}
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A write error means the scraper hung up; nothing to report to.
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	// Serve always returns a non-nil error once Close tears it down.
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

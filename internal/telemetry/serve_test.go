@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(8)
+	reg.Counter("quickdrop_serve_test_total", "Serve test.").Add(7)
+	tr.Start(SpanPhase, "train", 0, -1, -1).End()
+
+	s, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "quickdrop_serve_test_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "# TYPE quickdrop_serve_test_total counter") {
+		t.Error("/metrics missing TYPE line")
+	}
+
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "quickdrop_spans") {
+		t.Errorf("/debug/vars missing span stats:\n%s", vars)
+	}
+
+	if pprofIdx := get("/debug/pprof/"); !strings.Contains(pprofIdx, "profile") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:bad", NewRegistry(), nil); err == nil {
+		t.Fatal("want error for unparseable address")
+	}
+}

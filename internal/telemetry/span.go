@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind positions a span in the pipeline hierarchy.
+type SpanKind uint8
+
+const (
+	// SpanExperiment is the root: one whole run of a cmd or harness.
+	SpanExperiment SpanKind = iota + 1
+	// SpanPhase is one FedAvg phase (train, unlearn, recover, …).
+	SpanPhase
+	// SpanRound is one global FL round inside a phase.
+	SpanRound
+	// SpanClientStep is one client's local-steps batch inside a round.
+	SpanClientStep
+	// SpanDistillStep is one in-situ gradient-matching update.
+	SpanDistillStep
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanExperiment:
+		return "experiment"
+	case SpanPhase:
+		return "phase"
+	case SpanRound:
+		return "round"
+	case SpanClientStep:
+		return "client-step"
+	case SpanDistillStep:
+		return "distill-step"
+	default:
+		return "span"
+	}
+}
+
+// SpanRecord is one completed span in the ring buffer. Round and
+// Client are -1 when not applicable.
+type SpanRecord struct {
+	ID     uint64   `json:"id"`
+	Parent uint64   `json:"parent"`
+	Kind   SpanKind `json:"-"`
+	Name   string   `json:"name"`
+	Round  int32    `json:"round"`
+	Client int32    `json:"client"`
+	// Start and End are telemetry-clock nanoseconds.
+	Start int64 `json:"start_ns"`
+	End   int64 `json:"end_ns"`
+}
+
+// Duration returns the span length.
+func (r SpanRecord) Duration() time.Duration { return time.Duration(r.End - r.Start) }
+
+// Tracer records completed spans into a bounded ring buffer: the
+// newest records win, recording never blocks on consumers and never
+// allocates. A nil tracer is fully disabled — Start returns a zero
+// Span without even reading the clock.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	n    uint64 // total records ever written
+}
+
+// DefaultSpanCapacity bounds the ring when callers pass 0.
+const DefaultSpanCapacity = 4096
+
+// NewTracer returns a tracer with the given ring capacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// Span is a live, value-typed span handle. The zero Span is the
+// disabled handle: End is a no-op returning 0.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	kind   SpanKind
+	name   string
+	round  int32
+	client int32
+	start  int64
+}
+
+// Start opens a span. parent is the ID of the enclosing span (0 for
+// roots); round/client are -1 when not applicable.
+func (t *Tracer) Start(kind SpanKind, name string, parent uint64, round, client int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		tr:     t,
+		id:     t.ids.Add(1),
+		parent: parent,
+		kind:   kind,
+		name:   name,
+		round:  int32(round),
+		client: int32(client),
+		start:  clock(),
+	}
+}
+
+// ID returns the span's identifier (0 for a disabled span).
+func (s Span) ID() uint64 { return s.id }
+
+// End closes the span, records it, and returns its duration. The
+// mutex-guarded ring write is allocation-free; End on a zero Span
+// reads no clock and records nothing.
+func (s Span) End() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	end := clock()
+	t := s.tr
+	t.mu.Lock()
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Kind: s.kind, Name: s.name,
+		Round: s.round, Client: s.client, Start: s.start, End: end,
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.n%uint64(cap(t.ring))] = rec
+	}
+	t.n++
+	t.mu.Unlock()
+	return time.Duration(end - s.start)
+}
+
+// Len returns the number of retained records.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Total returns how many spans were ever recorded (including ones the
+// ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Snapshot copies the retained records out in oldest-to-newest order.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if t.n > uint64(cap(t.ring)) {
+		// The ring wrapped: records [n mod cap, cap) are the oldest.
+		head := int(t.n % uint64(cap(t.ring)))
+		out = append(out, t.ring[head:]...)
+		out = append(out, t.ring[:head]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock installs a hand-cranked clock and returns an advance func.
+func fakeClock(t *testing.T) func(d time.Duration) {
+	t.Helper()
+	var now int64
+	restore := SetClockForTesting(func() int64 { return now })
+	t.Cleanup(restore)
+	return func(d time.Duration) { now += int64(d) }
+}
+
+func TestSpanRecording(t *testing.T) {
+	tick := fakeClock(t)
+	tr := NewTracer(8)
+	root := tr.Start(SpanExperiment, "exp", 0, -1, -1)
+	tick(10 * time.Millisecond)
+	child := tr.Start(SpanRound, "round", root.ID(), 3, -1)
+	tick(5 * time.Millisecond)
+	if d := child.End(); d != 5*time.Millisecond {
+		t.Fatalf("child duration = %v, want 5ms", d)
+	}
+	if d := root.End(); d != 15*time.Millisecond {
+		t.Fatalf("root duration = %v, want 15ms", d)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Completion order: child first.
+	if recs[0].Name != "round" || recs[0].Parent != root.ID() || recs[0].Round != 3 {
+		t.Errorf("child record wrong: %+v", recs[0])
+	}
+	if recs[1].Kind != SpanExperiment || recs[1].Duration() != 15*time.Millisecond {
+		t.Errorf("root record wrong: %+v", recs[1])
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	fakeClock(t)
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start(SpanRound, "round", 0, i, -1).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	recs := tr.Snapshot()
+	// Newest 4 survive, oldest first: rounds 6,7,8,9.
+	for i, rec := range recs {
+		if want := int32(6 + i); rec.Round != want {
+			t.Errorf("recs[%d].Round = %d, want %d", i, rec.Round, want)
+		}
+	}
+}
+
+func TestNilTracerAndZeroSpan(t *testing.T) {
+	calls := 0
+	restore := SetClockForTesting(func() int64 { calls++; return 0 })
+	defer restore()
+	var tr *Tracer
+	sp := tr.Start(SpanPhase, "train", 0, -1, -1)
+	if sp.End() != 0 {
+		t.Error("zero span End should return 0")
+	}
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Snapshot() != nil {
+		t.Error("nil tracer should report empty state")
+	}
+	if calls != 0 {
+		t.Fatalf("disabled span path read the clock %d times, want 0", calls)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Start(SpanClientStep, "client", 1, i, c).End()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", tr.Total())
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tr.Len())
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	for kind, want := range map[SpanKind]string{
+		SpanExperiment:  "experiment",
+		SpanPhase:       "phase",
+		SpanRound:       "round",
+		SpanClientStep:  "client-step",
+		SpanDistillStep: "distill-step",
+		SpanKind(99):    "span",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", kind, got, want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package telemetry is the observability subsystem for the QuickDrop
+// reproduction: a stdlib-only, allocation-free metrics registry
+// (counters, gauges, fixed-bucket histograms with pre-registered label
+// series), a bounded-ring span recorder for the pipeline's hierarchy
+// (experiment → phase → round → client step → distill step), and
+// exporters (Prometheus text exposition, expvar, pprof, and a
+// deterministic JSONL event log).
+//
+// Three contracts govern the package (see DESIGN.md "Observability"):
+//
+//  1. Record paths never allocate. Counter.Add, Gauge.Set,
+//     Histogram.Observe, Vec.At and span Start/End are guarded by
+//     testing.AllocsPerRun and by the `telemetry` quickdroplint rule,
+//     which forbids any other telemetry entry point in functions
+//     reachable from //lint:hotpath roots.
+//  2. Disabled telemetry is free. Every handle is nil-receiver-safe: a
+//     nil *Pipeline, *Counter, *Histogram or zero Span turns the whole
+//     record path into an early return with no clock read.
+//  3. Wall-clock readings never feed back into the numerics. The
+//     package is the module's sole wall-clock authority (the
+//     determinism lint rule forbids time.Now/time.Since in every other
+//     internal package); timings flow only into reports, so runs stay
+//     bitwise deterministic with telemetry on or off.
+package telemetry

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# bench.sh — runs the headline benchmarks (gradient-matching step,
+# FedAvg round, unlearn+recover pass) and writes the results to
+# BENCH_<UTC stamp>.json for cross-commit comparison. Run via
+# `make bench`.
+#
+#   BENCHTIME=10x sh scripts/bench.sh    # more iterations per benchmark
+#
+# The committed BENCH_*.json files are the performance baselines; rerun
+# on comparable hardware before reading deltas into a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-3x}
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+out="BENCH_${stamp}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench (benchtime $BENCHTIME)"
+go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
+	-bench 'BenchmarkGradientMatchingStep$' ./internal/tensor/ | tee "$raw"
+go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
+	-bench 'BenchmarkFedAvgRound$' ./internal/fl/ | tee -a "$raw"
+go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
+	-bench 'BenchmarkUnlearnRecover$' ./internal/core/ | tee -a "$raw"
+
+{
+	printf '{\n'
+	printf '  "stamp": "%s",\n' "$stamp"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "benchmarks": [\n'
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/^Benchmark/, "", name)
+			sub(/-[0-9]+$/, "", name)
+			if (found++) printf ",\n"
+			printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+				name, $2, $3, $5, $7
+		}
+		END { if (found) printf "\n" }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "bench.sh: wrote $out"

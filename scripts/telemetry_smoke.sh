@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# telemetry_smoke.sh — end-to-end check of the telemetry endpoint: runs
+# a short fedsim training with -telemetry-addr, scrapes /metrics after
+# training finishes (the -telemetry-linger window keeps the endpoint
+# up), and asserts the round/client/distill series are exposed in
+# Prometheus text form. Run standalone or via the CI
+# telemetry-endpoint-smoke job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "==> build fedsim"
+go build -o "$work/fedsim" ./cmd/fedsim
+
+echo "==> run fedsim with an ephemeral telemetry endpoint"
+"$work/fedsim" -dataset mnistlike -clients 2 -rounds 2 -steps 2 -batch 8 \
+	-eval-every 2 -scale quick \
+	-telemetry-addr 127.0.0.1:0 -telemetry-linger 60s >"$work/log" 2>&1 &
+pid=$!
+
+# Wait for training to finish: the linger banner prints after the last
+# round, so the scrape below sees the final counter values.
+tries=0
+until grep -q 'telemetry: lingering' "$work/log"; do
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "fedsim exited early:" >&2
+		cat "$work/log" >&2
+		exit 1
+	fi
+	tries=$((tries + 1))
+	if [ "$tries" -gt 120 ]; then
+		echo "timed out waiting for fedsim to finish training" >&2
+		cat "$work/log" >&2
+		exit 1
+	fi
+	sleep 1
+done
+
+addr=$(grep -om1 '127\.0\.0\.1:[0-9]*' "$work/log")
+echo "==> scrape http://$addr/metrics"
+curl -fsS "http://$addr/metrics" >"$work/metrics"
+
+status=0
+for series in \
+	quickdrop_fl_rounds_total \
+	quickdrop_fl_round_seconds_count \
+	'quickdrop_fl_local_steps_total{client="0"}' \
+	quickdrop_fl_samples_total \
+	'quickdrop_phase_seconds_count{phase="train"}' \
+	quickdrop_distill_steps_total; do
+	if ! grep -qF "$series" "$work/metrics"; then
+		echo "missing series: $series" >&2
+		status=1
+	fi
+done
+if [ "$(grep -c '^# TYPE ' "$work/metrics")" -lt 10 ]; then
+	echo "suspiciously few metric families:" >&2
+	cat "$work/metrics" >&2
+	status=1
+fi
+# Two rounds ran, so the counter must read 2.
+if ! grep -q '^quickdrop_fl_rounds_total 2$' "$work/metrics"; then
+	echo "quickdrop_fl_rounds_total != 2:" >&2
+	grep '^quickdrop_fl_rounds_total' "$work/metrics" >&2 || true
+	status=1
+fi
+
+[ "$status" -eq 0 ] && echo "telemetry_smoke.sh: all series present"
+exit "$status"
