@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench fmt
+.PHONY: build test check lint bench bench-check fmt
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ lint:
 # `go test -bench . ./internal/tensor/`.
 bench:
 	sh scripts/bench.sh
+
+# Regression gate: runs the headline benchmarks, then diffs the fresh
+# BENCH_*.json against the committed baseline and fails on a >25%
+# regression of the gradient-matching-step metric (bench_compare.sh).
+bench-check:
+	sh scripts/bench.sh
+	sh scripts/bench_compare.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,103 @@
+package dataflow
+
+import "go/ast"
+
+// Analysis describes one forward dataflow problem over a Graph. The
+// fact type F must behave as an immutable value: Stmt and Refine return
+// new facts rather than mutating their input, so facts can be shared
+// between blocks.
+type Analysis[F any] struct {
+	// Init is the fact at function entry.
+	Init F
+	// Join merges the facts of two converging paths.
+	Join func(a, b F) F
+	// Equal reports fact equality; the solver iterates until every
+	// block's input fact is stable under Equal.
+	Equal func(a, b F) bool
+	// Stmt is the transfer function of one statement.
+	Stmt func(n ast.Node, in F) F
+	// Refine narrows a fact along a conditional edge (cond, with neg
+	// reporting the false edge). Returning ok=false marks the edge
+	// infeasible under the fact, and nothing is propagated along it.
+	// A nil Refine propagates facts unchanged.
+	Refine func(cond ast.Expr, neg bool, in F) (out F, ok bool)
+}
+
+// Result holds the solver's fixpoint: the fact reaching each block's
+// entry. Blocks never reached (statically dead code) are absent.
+type Result[F any] struct {
+	In map[*Block]F
+}
+
+// Forward runs a's transfer functions over g to fixpoint, propagating
+// facts along control-flow edges with condition refinement, and returns
+// the fact at each reachable block's entry. The iteration order is the
+// block construction order (roughly source order), which converges
+// quickly for reducible graphs; correctness does not depend on it.
+func Forward[F any](g *Graph, a Analysis[F]) Result[F] {
+	in := make(map[*Block]F)
+	in[g.Entry] = a.Init
+	dirty := map[*Block]bool{g.Entry: true}
+	// Bound the iteration defensively: each sweep visits every block
+	// once; a lattice of finite height converges long before the cap.
+	for sweep := 0; sweep < 4*len(g.Blocks)+16; sweep++ {
+		changed := false
+		for _, blk := range g.Blocks {
+			if !dirty[blk] {
+				continue
+			}
+			dirty[blk] = false
+			fact, ok := in[blk]
+			if !ok {
+				continue
+			}
+			out := a.flowBlock(blk, fact)
+			for _, e := range blk.Succs {
+				f := out
+				if e.Cond != nil && a.Refine != nil {
+					var feasible bool
+					f, feasible = a.Refine(e.Cond, e.Neg, out)
+					if !feasible {
+						continue
+					}
+				}
+				old, seen := in[e.To]
+				if !seen {
+					in[e.To] = f
+					dirty[e.To] = true
+					changed = true
+					continue
+				}
+				merged := a.Join(old, f)
+				if !a.Equal(merged, old) {
+					in[e.To] = merged
+					dirty[e.To] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Result[F]{In: in}
+}
+
+// flowBlock folds the transfer function over one block's statements.
+func (a Analysis[F]) flowBlock(blk *Block, f F) F {
+	for _, n := range blk.Stmts {
+		f = a.Stmt(n, f)
+	}
+	return f
+}
+
+// Out recomputes the fact leaving blk under a, given the solved result.
+// It returns ok=false for unreached blocks.
+func (r Result[F]) Out(blk *Block, a Analysis[F]) (F, bool) {
+	f, ok := r.In[blk]
+	if !ok {
+		var zero F
+		return zero, false
+	}
+	return a.flowBlock(blk, f), true
+}

@@ -1,0 +1,277 @@
+package dataflow
+
+import (
+	"sort"
+	"strconv"
+)
+
+// This file implements the symbolic tensor-shape domain of the
+// shapecheck and vjpshape analyzers. A dimension is a product of a
+// positive integer constant and named symbolic factors (parameters,
+// len(x) terms, t.Dim(i) reads); a shape is either a vector of such
+// dimensions or an opaque named shape of unknown rank. All comparisons
+// are three-valued: provably equal, provably different, or unknown —
+// the analyzers only report what is provable, so an unknown never
+// becomes a diagnostic.
+//
+// The domain relies on every tensor dimension being a positive
+// integer: c1·Πs and c2·Πs with identical symbolic factors are equal
+// exactly when c1 == c2, which is what lets a reshape of n·2 elements
+// into n·3 be rejected without knowing n.
+
+// Dim is one symbolic dimension (or element count): C · Π Syms.
+// The zero value is the unknown dimension (top).
+type Dim struct {
+	// C is the constant factor; 0 marks the unknown dimension.
+	C int64
+	// Syms are the symbolic factors, sorted, possibly repeated.
+	Syms []string
+}
+
+// DimConst returns the constant dimension n (n must be positive to be
+// meaningful; non-positive yields unknown).
+func DimConst(n int64) Dim {
+	if n <= 0 {
+		return Dim{}
+	}
+	return Dim{C: n}
+}
+
+// DimSym returns the purely symbolic dimension named s.
+func DimSym(s string) Dim { return Dim{C: 1, Syms: []string{s}} }
+
+// Known reports whether d carries any information.
+func (d Dim) Known() bool { return d.C != 0 }
+
+// IsConst reports whether d is a plain integer constant.
+func (d Dim) IsConst() bool { return d.C != 0 && len(d.Syms) == 0 }
+
+// Mul returns the product of two dimensions (unknown absorbs).
+func (d Dim) Mul(o Dim) Dim {
+	if !d.Known() || !o.Known() {
+		return Dim{}
+	}
+	syms := make([]string, 0, len(d.Syms)+len(o.Syms))
+	syms = append(syms, d.Syms...)
+	syms = append(syms, o.Syms...)
+	sort.Strings(syms)
+	return Dim{C: d.C * o.C, Syms: syms}
+}
+
+// Div returns d / o when the division is exact over the symbolic
+// factors, and unknown otherwise.
+func (d Dim) Div(o Dim) Dim {
+	if !d.Known() || !o.Known() || o.C == 0 || d.C%o.C != 0 {
+		return Dim{}
+	}
+	rest := append([]string(nil), d.Syms...)
+	for _, s := range o.Syms {
+		i := sort.SearchStrings(rest, s)
+		if i >= len(rest) || rest[i] != s {
+			return Dim{}
+		}
+		rest = append(rest[:i], rest[i+1:]...)
+	}
+	return Dim{C: d.C / o.C, Syms: rest}
+}
+
+// Tri is a three-valued truth: provably true, provably false, or
+// unknown.
+type Tri int
+
+const (
+	// Unknown means the comparison is undecidable in the domain.
+	Unknown Tri = iota
+	// True means provably true.
+	True
+	// False means provably false.
+	False
+)
+
+// Eq compares two dimensions three-valuedly. Dimensions with identical
+// symbolic factors compare by constant; differing symbolic factors are
+// undecidable (the symbols might coincide at runtime).
+func (d Dim) Eq(o Dim) Tri {
+	if !d.Known() || !o.Known() {
+		return Unknown
+	}
+	if symsEqual(d.Syms, o.Syms) {
+		if d.C == o.C {
+			return True
+		}
+		return False
+	}
+	return Unknown
+}
+
+func symsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join is the lattice join: equal dimensions survive a merge point,
+// anything else widens to unknown.
+func (d Dim) Join(o Dim) Dim {
+	if d.Eq(o) == True {
+		return d
+	}
+	return Dim{}
+}
+
+// Subst rewrites every occurrence of symbol s in d to r.
+func (d Dim) Subst(s string, r Dim) Dim {
+	if !d.Known() {
+		return d
+	}
+	n := 0
+	for _, f := range d.Syms {
+		if f == s {
+			n++
+		}
+	}
+	if n == 0 {
+		return d
+	}
+	out := Dim{C: d.C}
+	for _, f := range d.Syms {
+		if f != s {
+			out.Syms = append(out.Syms, f)
+		}
+	}
+	for i := 0; i < n; i++ {
+		out = out.Mul(r)
+	}
+	sort.Strings(out.Syms)
+	return out
+}
+
+// String renders a dimension for diagnostics: constants as numbers,
+// anything symbolic as "?" (symbol names are internal).
+func (d Dim) String() string {
+	if d.IsConst() {
+		return strconv.FormatInt(d.C, 10)
+	}
+	return "?"
+}
+
+// Shape is the abstract shape of a tensor. Either Dims is non-nil and
+// holds one Dim per dimension, or the rank itself is unknown and Sym
+// (when non-empty) names the shape so two references to the same
+// unknown shape still compare equal.
+type Shape struct {
+	Sym  string
+	Dims []Dim
+}
+
+// TopShape is the completely unknown shape.
+func TopShape() Shape { return Shape{} }
+
+// SymShape returns an opaque shape of unknown rank named s.
+func SymShape(s string) Shape { return Shape{Sym: s} }
+
+// ShapeOf returns a ranked shape from dims.
+func ShapeOf(dims ...Dim) Shape { return Shape{Dims: dims} }
+
+// RankKnown reports whether the shape's rank is known.
+func (s Shape) RankKnown() bool { return s.Dims != nil }
+
+// Known reports whether the shape carries any information at all.
+func (s Shape) Known() bool { return s.Dims != nil || s.Sym != "" }
+
+// Elems returns the element count as a symbolic dimension. For
+// unknown-rank shapes the count is an opaque symbol derived from the
+// shape's name, so two views of the same unknown shape still compare
+// equal.
+func (s Shape) Elems() Dim {
+	if s.Dims == nil {
+		if s.Sym != "" {
+			return DimSym("elems(" + s.Sym + ")")
+		}
+		return Dim{}
+	}
+	p := DimConst(1)
+	for _, d := range s.Dims {
+		p = p.Mul(d)
+	}
+	return p
+}
+
+// Eq compares two shapes three-valuedly. Shapes are provably different
+// when their ranks differ or any dimension pair is provably different,
+// and provably equal when every dimension pair is provably equal (or
+// both are the same named unknown shape).
+func (s Shape) Eq(o Shape) Tri {
+	if s.Sym != "" && s.Sym == o.Sym {
+		return True
+	}
+	if s.Dims == nil || o.Dims == nil {
+		return Unknown
+	}
+	if len(s.Dims) != len(o.Dims) {
+		return False
+	}
+	res := True
+	for i := range s.Dims {
+		switch s.Dims[i].Eq(o.Dims[i]) {
+		case False:
+			return False
+		case Unknown:
+			res = Unknown
+		}
+	}
+	return res
+}
+
+// Join widens two shapes at a merge point: identical structure
+// survives, dimension disagreements widen pointwise, rank or identity
+// disagreements widen to top.
+func (s Shape) Join(o Shape) Shape {
+	if s.Sym != "" && s.Sym == o.Sym && s.Dims == nil && o.Dims == nil {
+		return s
+	}
+	if s.Dims == nil || o.Dims == nil || len(s.Dims) != len(o.Dims) {
+		return TopShape()
+	}
+	dims := make([]Dim, len(s.Dims))
+	for i := range dims {
+		dims[i] = s.Dims[i].Join(o.Dims[i])
+	}
+	return Shape{Dims: dims}
+}
+
+// Subst rewrites symbol s to r in every dimension.
+func (sh Shape) Subst(s string, r Dim) Shape {
+	if sh.Dims == nil {
+		return sh
+	}
+	dims := make([]Dim, len(sh.Dims))
+	for i := range dims {
+		dims[i] = sh.Dims[i].Subst(s, r)
+	}
+	return Shape{Sym: sh.Sym, Dims: dims}
+}
+
+// String renders the shape the way the tensor package's shapeStr does
+// ("[2 3]"), with "?" for symbolic dimensions and "[...]" for shapes of
+// unknown rank, so diagnostics and runtime panics stay greppable
+// against each other.
+func (s Shape) String() string {
+	if s.Dims == nil {
+		return "[...]"
+	}
+	out := "["
+	for i, d := range s.Dims {
+		if i > 0 {
+			out += " "
+		}
+		out += d.String()
+	}
+	return out + "]"
+}

@@ -1,0 +1,192 @@
+package dataflow
+
+import "testing"
+
+func TestDimArithmetic(t *testing.T) {
+	n := DimSym("n")
+	two := DimConst(2)
+	three := DimConst(3)
+
+	if got := two.Mul(three); got.C != 6 || len(got.Syms) != 0 {
+		t.Errorf("2*3 = %v, want 6", got)
+	}
+	n2 := n.Mul(two) // 2n
+	if n2.C != 2 || len(n2.Syms) != 1 || n2.Syms[0] != "n" {
+		t.Errorf("n*2 = %+v, want 2·n", n2)
+	}
+	// Exact division recovers the factor.
+	if got := n2.Div(n); got.Eq(two) != True {
+		t.Errorf("2n/n = %v, want 2", got)
+	}
+	// Inexact division is unknown.
+	if got := three.Div(two); got.Known() {
+		t.Errorf("3/2 = %v, want unknown", got)
+	}
+	if got := two.Div(n); got.Known() {
+		t.Errorf("2/n = %v, want unknown", got)
+	}
+	// Unknown absorbs products.
+	if got := (Dim{}).Mul(two); got.Known() {
+		t.Errorf("unknown*2 = %v, want unknown", got)
+	}
+	// Non-positive constants are meaningless.
+	if DimConst(0).Known() || DimConst(-3).Known() {
+		t.Errorf("non-positive constants must be unknown")
+	}
+}
+
+func TestDimEqThreeValued(t *testing.T) {
+	n := DimSym("n")
+	m := DimSym("m")
+	cases := []struct {
+		a, b Dim
+		want Tri
+	}{
+		{DimConst(2), DimConst(2), True},
+		{DimConst(2), DimConst(3), False},
+		// Same symbolic factors compare by constant: 2n vs 3n can never
+		// coincide because n > 0.
+		{n.Mul(DimConst(2)), n.Mul(DimConst(3)), False},
+		{n.Mul(DimConst(2)), n.Mul(DimConst(2)), True},
+		// Different symbols might coincide at runtime.
+		{n, m, Unknown},
+		{n, DimConst(2), Unknown},
+		{Dim{}, DimConst(2), Unknown},
+		{Dim{}, Dim{}, Unknown},
+	}
+	for _, c := range cases {
+		if got := c.a.Eq(c.b); got != c.want {
+			t.Errorf("(%v).Eq(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDimJoin(t *testing.T) {
+	n := DimSym("n")
+	if got := DimConst(2).Join(DimConst(2)); got.Eq(DimConst(2)) != True {
+		t.Errorf("2 ⊔ 2 = %v, want 2", got)
+	}
+	if got := DimConst(2).Join(DimConst(3)); got.Known() {
+		t.Errorf("2 ⊔ 3 = %v, want unknown", got)
+	}
+	if got := n.Join(n); got.Eq(n) != True {
+		t.Errorf("n ⊔ n = %v, want n", got)
+	}
+	if got := n.Join(DimSym("m")); got.Known() {
+		t.Errorf("n ⊔ m = %v, want unknown", got)
+	}
+}
+
+func TestDimSubst(t *testing.T) {
+	n := DimSym("n")
+	// 2n² with n := 3m gives 18m².
+	d := n.Mul(n).Mul(DimConst(2))
+	got := d.Subst("n", DimSym("m").Mul(DimConst(3)))
+	want := DimSym("m").Mul(DimSym("m")).Mul(DimConst(18))
+	if got.Eq(want) != True {
+		t.Errorf("subst = %+v, want %+v", got, want)
+	}
+	// Substituting an absent symbol is the identity.
+	if got := d.Subst("q", DimConst(7)); got.Eq(d) != True {
+		t.Errorf("identity subst changed %v to %v", d, got)
+	}
+}
+
+func TestShapeEq(t *testing.T) {
+	s23 := ShapeOf(DimConst(2), DimConst(3))
+	cases := []struct {
+		a, b Shape
+		want Tri
+	}{
+		{s23, ShapeOf(DimConst(2), DimConst(3)), True},
+		{s23, ShapeOf(DimConst(3), DimConst(2)), False},
+		// Rank mismatch is provably different.
+		{s23, ShapeOf(DimConst(6)), False},
+		// A named unknown shape equals itself.
+		{SymShape("s"), SymShape("s"), True},
+		{SymShape("s"), SymShape("t"), Unknown},
+		{SymShape("s"), s23, Unknown},
+		// One unknown dimension degrades equality to unknown, but a
+		// provably different sibling still wins.
+		{ShapeOf(Dim{}, DimConst(3)), ShapeOf(DimConst(2), DimConst(3)), Unknown},
+		{ShapeOf(Dim{}, DimConst(3)), ShapeOf(DimConst(2), DimConst(4)), False},
+	}
+	for _, c := range cases {
+		if got := c.a.Eq(c.b); got != c.want {
+			t.Errorf("(%v).Eq(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestShapeJoin(t *testing.T) {
+	s23 := ShapeOf(DimConst(2), DimConst(3))
+	// Identical shapes survive.
+	if got := s23.Join(ShapeOf(DimConst(2), DimConst(3))); got.Eq(s23) != True {
+		t.Errorf("join of equal shapes = %v, want [2 3]", got)
+	}
+	// Pointwise disagreement widens only the differing dimension.
+	got := s23.Join(ShapeOf(DimConst(4), DimConst(3)))
+	if len(got.Dims) != 2 {
+		t.Fatalf("join rank = %d, want 2", len(got.Dims))
+	}
+	if got.Dims[0].Known() {
+		t.Errorf("disagreeing dim survived the join: %v", got.Dims[0])
+	}
+	if got.Dims[1].Eq(DimConst(3)) != True {
+		t.Errorf("agreeing dim widened: %v", got.Dims[1])
+	}
+	// Rank disagreement widens to top.
+	if got := s23.Join(ShapeOf(DimConst(6))); got.Known() {
+		t.Errorf("rank-mismatched join = %v, want top", got)
+	}
+	// The same named unknown shape survives.
+	if got := SymShape("s").Join(SymShape("s")); got.Sym != "s" {
+		t.Errorf("named join = %v, want s", got)
+	}
+	if got := SymShape("s").Join(SymShape("t")); got.Known() {
+		t.Errorf("distinct named join = %v, want top", got)
+	}
+}
+
+func TestShapeElems(t *testing.T) {
+	n := DimSym("n")
+	s := ShapeOf(DimConst(2), n, DimConst(3))
+	want := n.Mul(DimConst(6))
+	if got := s.Elems(); got.Eq(want) != True {
+		t.Errorf("elems = %v, want 6n", got)
+	}
+	// The elements of the same named unknown shape compare equal — that
+	// is what lets reshape-to-view chains verify.
+	a, b := SymShape("s").Elems(), SymShape("s").Elems()
+	if a.Eq(b) != True {
+		t.Errorf("elems of the same named shape differ: %v vs %v", a, b)
+	}
+	if TopShape().Elems().Known() {
+		t.Errorf("top shape has known element count")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := ShapeOf(DimConst(2), DimConst(3)).String(); got != "[2 3]" {
+		t.Errorf("String = %q, want [2 3]", got)
+	}
+	if got := ShapeOf(DimConst(2), DimSym("n")).String(); got != "[2 ?]" {
+		t.Errorf("String = %q, want [2 ?]", got)
+	}
+	if got := TopShape().String(); got != "[...]" {
+		t.Errorf("String = %q, want [...]", got)
+	}
+}
+
+func TestShapeSubst(t *testing.T) {
+	s := ShapeOf(DimSym("n"), DimConst(3))
+	got := s.Subst("n", DimConst(2))
+	if got.Eq(ShapeOf(DimConst(2), DimConst(3))) != True {
+		t.Errorf("subst = %v, want [2 3]", got)
+	}
+	// Unranked shapes pass through.
+	u := SymShape("s").Subst("n", DimConst(2))
+	if u.Sym != "s" || u.Dims != nil {
+		t.Errorf("unranked subst = %+v, want unchanged", u)
+	}
+}

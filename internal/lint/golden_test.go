@@ -17,7 +17,9 @@ const fixtureModPath = "quickdrop"
 // several quoted patterns may follow one marker.
 const wantMarker = "// want "
 
-var wantPatternRe = regexp.MustCompile(`"([^"]*)"`)
+// Patterns are quoted with "" or, when the pattern itself contains a
+// double quote, with backticks.
+var wantPatternRe = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
 
 type wantEntry struct {
 	raw     string
@@ -80,11 +82,15 @@ func collectWants(t *testing.T, prog *Program) map[string][]*wantEntry {
 					pos := prog.Fset.Position(c.Slash)
 					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 					for _, pat := range wantPatternRe.FindAllStringSubmatch(rest, -1) {
-						re, err := regexp.Compile(pat[1])
-						if err != nil {
-							t.Fatalf("%s: bad want pattern %q: %v", key, pat[1], err)
+						raw := pat[1]
+						if pat[2] != "" {
+							raw = pat[2]
 						}
-						wants[key] = append(wants[key], &wantEntry{raw: pat[1], re: re})
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, raw, err)
+						}
+						wants[key] = append(wants[key], &wantEntry{raw: raw, re: re})
 					}
 				}
 			}

@@ -76,7 +76,9 @@ func All() []*Analyzer {
 		HotPathAlloc,
 		IntoAlias,
 		PoolBalance,
+		Shapecheck,
 		Telemetry,
+		VJPShape,
 	}
 }
 

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestShapecheckGolden(t *testing.T) {
+	runGolden(t, Shapecheck)
+}

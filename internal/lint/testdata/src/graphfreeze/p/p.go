@@ -20,6 +20,33 @@ func read(v *autodiff.Value, dst *tensor.Tensor) float64 {
 	return v.Data.Data()[0]             // ok: reading
 }
 
+func aliasMutate(v *autodiff.Value) {
+	t := v.Data
+	t.Zero() // want "Zero mutates an autodiff node's tensor"
+}
+
+func aliasInto(v *autodiff.Value, a *tensor.Tensor) {
+	t := v.Data
+	tensor.AddInto(t, a, a) // want "used as AddInto destination"
+}
+
+func aliasBranch(v *autodiff.Value, w *tensor.Tensor, flag bool) {
+	t := w
+	if flag {
+		t = v.Data
+	}
+	t.Zero() // want "Zero mutates an autodiff node's tensor"
+}
+
+// aliasRebound is clean: t points at a detached tensor by the time it
+// is mutated.
+func aliasRebound(v *autodiff.Value, w *tensor.Tensor) {
+	t := v.Data
+	t = w
+	t.Zero()
+	_ = t
+}
+
 func suppressed(v *autodiff.Value) {
 	v.Data.Zero() //lint:allow graphfreeze node is detached from the graph at this point
 }

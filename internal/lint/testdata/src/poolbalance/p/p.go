@@ -52,6 +52,58 @@ func discarded(x *tensor.Tensor) {
 	_ = tensor.GetLike(x) // want "result is discarded"
 }
 
+func earlyReturn(x *tensor.Tensor, flag bool) {
+	buf := tensor.GetLike(x) // want "not Put on every path"
+	if flag {
+		return
+	}
+	tensor.Put(buf)
+}
+
+func loopOverwrite(xs []*tensor.Tensor) {
+	var buf *tensor.Tensor
+	for _, x := range xs {
+		buf = tensor.GetLike(x) // want "overwrites a still-borrowed buffer"
+	}
+	tensor.Put(buf)
+}
+
+func doublePut(x *tensor.Tensor) {
+	buf := tensor.GetLike(x)
+	tensor.Put(buf)
+	tensor.Put(buf) // want "Put twice on this path"
+}
+
+// lazyBorrow is clean: the nil guard proves the Get never overwrites a
+// live borrow, and the buffer is Put after the loop.
+func lazyBorrow(xs []*tensor.Tensor) {
+	var buf *tensor.Tensor
+	for _, x := range xs {
+		if buf == nil {
+			buf = tensor.GetLike(x)
+		}
+		_ = x
+	}
+	tensor.Put(buf)
+}
+
+// branchPut is clean: every path Puts exactly once.
+func branchPut(x *tensor.Tensor, flag bool) {
+	buf := tensor.GetLike(x)
+	if flag {
+		tensor.Put(buf)
+		return
+	}
+	tensor.Put(buf)
+}
+
+// deferredClosure is clean: the deferred literal Puts on every exit.
+func deferredClosure(x *tensor.Tensor) {
+	buf := tensor.GetLike(x)
+	defer func() { tensor.Put(buf) }()
+	buf.Sum()
+}
+
 func suppressed(x *tensor.Tensor) {
 	buf := tensor.Get(4) //lint:allow poolbalance handed to a registry that Puts on shutdown
 	_ = buf

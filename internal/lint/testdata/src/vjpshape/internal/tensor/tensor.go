@@ -1,0 +1,21 @@
+// Package tensor is a minimal stub of the real tensor package for the
+// vjpshape fixture; the analyzer models these kernels by name.
+package tensor
+
+// Tensor mirrors the real row-major tensor header.
+type Tensor struct{ data []float64 }
+
+// AddInto writes a+b into dst.
+func AddInto(dst, a, b *Tensor) *Tensor { _, _ = a, b; return dst }
+
+// MatMulInto writes a·b into dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor { _, _ = a, b; return dst }
+
+// MatMulNTInto writes a·bᵀ into dst.
+func MatMulNTInto(dst, a, b *Tensor) *Tensor { _, _ = a, b; return dst }
+
+// MatMulTNInto writes aᵀ·b into dst.
+func MatMulTNInto(dst, a, b *Tensor) *Tensor { _, _ = a, b; return dst }
+
+// TransposeInto writes aᵀ into dst.
+func TransposeInto(dst, a *Tensor) *Tensor { _ = a; return dst }

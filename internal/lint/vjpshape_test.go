@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestVJPShapeGolden(t *testing.T) {
+	runGolden(t, VJPShape)
+}

@@ -48,7 +48,7 @@ func prepDst(dst *Tensor, shape []int, op string) *Tensor {
 		return dst
 	}
 	if len(dst.data) != prod(shape) {
-		panic(fmt.Sprintf("tensor: %s destination %v cannot hold result %s", op, dst.shape, shapeStr(shape)))
+		panic(dstShapeErr(op, dst.shape, shape))
 	}
 	// The destination adopts the result shape (it may come from the pool
 	// with a stale shape of equal element count).
@@ -199,13 +199,13 @@ func TransposeInto(dst, a *Tensor) *Tensor {
 // ok=false otherwise so callers can fall back to the generic walk.
 func bcastSpans(full, small []int) (outer, mid, inner int, ok bool) {
 	if len(full) != len(small) {
-		panic(fmt.Sprintf("tensor: broadcast rank mismatch %v vs %v", small, full))
+		panic(bcastRankErr(small, full))
 	}
 	first, last := -1, -1
 	for i, s := range small {
 		if s != full[i] {
 			if s != 1 {
-				panic(fmt.Sprintf("tensor: cannot broadcast %v against %v", small, full))
+				panic(bcastShapeErr(small, full))
 			}
 			if first == -1 {
 				first = i
@@ -502,7 +502,7 @@ func MatMulTNInto(dst, a, b *Tensor) *Tensor {
 // product and returns the result dims M, K (contraction), N.
 func matMulDims(a, b *Tensor, ta, tb bool) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires matrices, got %v and %v", a.shape, b.shape))
+		panic(matMulRankErr(a.shape, b.shape))
 	}
 	m, k = a.shape[0], a.shape[1]
 	if ta {
@@ -513,7 +513,7 @@ func matMulDims(a, b *Tensor, ta, tb bool) (m, k, n int) {
 		kb, nb = nb, kb
 	}
 	if k != kb {
-		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v (ta=%v tb=%v)", a.shape, b.shape, ta, tb))
+		panic(matMulDimErr(a.shape, b.shape, ta, tb))
 	}
 	return m, k, nb
 }

@@ -247,7 +247,7 @@ func (t *Tensor) String() string {
 
 func (t *Tensor) mustSameShape(o *Tensor, op string) {
 	if !t.SameShape(o) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+		panic(shapeErr(op, t.shape, o.shape))
 	}
 }
 

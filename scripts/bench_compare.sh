@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench_compare.sh — regression gate over the benchmark artifacts: diffs
+# the newest BENCH_<stamp>.json on disk against the committed baseline
+# (the newest BENCH_*.json tracked by git) and fails when the headline
+# gradient-matching-step metric regresses by more than the threshold.
+# Run via `make bench-check`, which produces the fresh artifact first.
+#
+#   METRIC=FedAvgRound THRESHOLD_PCT=10 sh scripts/bench_compare.sh
+#
+# Numbers from shared CI runners are noisy; the default 25% threshold is
+# deliberately loose so only step-function regressions (an accidental
+# O(n^2), a lost parallel path, a pool bypass) trip it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+METRIC=${METRIC:-GradientMatchingStep}
+THRESHOLD_PCT=${THRESHOLD_PCT:-25}
+
+baseline=$(git ls-files 'BENCH_*.json' | sort | tail -n 1)
+if [ -z "$baseline" ]; then
+	echo "bench_compare.sh: no committed BENCH_*.json baseline" >&2
+	exit 1
+fi
+
+candidate=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+if [ -z "$candidate" ] || [ "$candidate" = "$baseline" ]; then
+	echo "bench_compare.sh: no BENCH_*.json newer than baseline $baseline; run 'make bench' first" >&2
+	exit 1
+fi
+
+# The artifacts are machine-written by bench.sh with one benchmark
+# object per line, so a sed scrape is exact.
+extract() {
+	sed -n 's/.*"name":"'"$2"'".*"ns_per_op":\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+base_ns=$(extract "$baseline" "$METRIC")
+new_ns=$(extract "$candidate" "$METRIC")
+if [ -z "$base_ns" ]; then
+	echo "bench_compare.sh: metric $METRIC missing from baseline $baseline" >&2
+	exit 1
+fi
+if [ -z "$new_ns" ]; then
+	echo "bench_compare.sh: metric $METRIC missing from $candidate" >&2
+	exit 1
+fi
+
+# Integer-only check: new > base * (100 + threshold) / 100.
+limit=$((base_ns * (100 + THRESHOLD_PCT) / 100))
+delta=$(awk "BEGIN { printf \"%+.1f\", ($new_ns - $base_ns) * 100.0 / $base_ns }")
+
+echo "bench_compare.sh: $METRIC baseline ${base_ns}ns ($baseline) vs ${new_ns}ns ($candidate): ${delta}%"
+if [ "$new_ns" -gt "$limit" ]; then
+	echo "bench_compare.sh: FAIL — $METRIC regressed ${delta}% (threshold +${THRESHOLD_PCT}%)" >&2
+	exit 1
+fi
+echo "bench_compare.sh: OK (threshold +${THRESHOLD_PCT}%)"
