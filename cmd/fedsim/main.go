@@ -8,10 +8,13 @@
 //	fedsim -dataset mnistlike -clients 10 -rounds 20 -alpha 0.1
 //
 // With -telemetry-addr, fedsim serves Prometheus metrics on
-// /metrics, expvar on /debug/vars and pprof on /debug/pprof while
-// training (use ":0" for an ephemeral port; the bound address is
+// /metrics, the live flight-recorder dashboard on /dashboard, series
+// JSON on /api/series, expvar on /debug/vars and pprof on /debug/pprof
+// while training (use ":0" for an ephemeral port; the bound address is
 // printed). -telemetry-linger keeps the endpoint up after training so
-// scrapers can collect the final state.
+// scrapers can collect the final state. -ledger writes a run manifest
+// (config, seed, metric summaries, quantiles) into the given directory
+// for `experiments report -diff`.
 package main
 
 import (
@@ -45,8 +48,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		every      = flag.Int("eval-every", 5, "evaluate every N rounds")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-client runtime")
-		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /dashboard, /api/series, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after training")
+		ledgerDir  = flag.String("ledger", "", "write a run manifest into this directory (e.g. runs/)")
 	)
 	flag.Parse()
 
@@ -64,16 +68,16 @@ func main() {
 
 	var pipe *telemetry.Pipeline
 	var srv *telemetry.Server
+	if *telAddr != "" || *ledgerDir != "" {
+		pipe = telemetry.NewPipeline(telemetry.NewRegistry(), telemetry.NewTracer(0), *clients)
+	}
 	if *telAddr != "" {
-		reg := telemetry.NewRegistry()
-		tracer := telemetry.NewTracer(0)
-		pipe = telemetry.NewPipeline(reg, tracer, *clients)
-		srv, err = telemetry.Serve(*telAddr, reg, tracer)
+		srv, err = telemetry.Serve(*telAddr, pipe)
 		if err != nil {
 			fatal(err)
 		}
 		defer func() { _ = srv.Close() }()
-		fmt.Printf("telemetry: serving on http://%s/metrics\n", srv.Addr())
+		fmt.Printf("telemetry: serving on http://%s/metrics (dashboard: /dashboard)\n", srv.Addr())
 	}
 
 	fmt.Printf("fedsim: %s, %d clients, alpha=%.2g, heterogeneity=%.3f, %d params\n",
@@ -103,10 +107,26 @@ func main() {
 			fatal(err)
 		}
 		done += step
+		acc := eval.Accuracy(model, setup.Test)
+		pipe.RecordAccuracy(float64(done), acc)
 		fmt.Printf("round %3d: test accuracy %.2f%% (%s elapsed, %d grad evals)\n",
-			done, 100*eval.Accuracy(model, setup.Test), start.Elapsed().Round(time.Millisecond), counter.GradEvals)
+			done, 100*acc, start.Elapsed().Round(time.Millisecond), counter.GradEvals)
 	}
 	pipe.Close()
+	if *ledgerDir != "" {
+		m := telemetry.BuildManifest(pipe, "fedsim", *seed, map[string]string{
+			"dataset": *dataset,
+			"clients": fmt.Sprint(*clients),
+			"alpha":   fmt.Sprint(*alpha),
+			"rounds":  fmt.Sprint(*rounds),
+			"scale":   *scaleName,
+		})
+		path, err := telemetry.WriteManifest(*ledgerDir, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ledger: manifest written to %s\n", path)
+	}
 	if srv != nil && *telLinger > 0 {
 		fmt.Printf("telemetry: lingering %s on http://%s/metrics\n", *telLinger, srv.Addr())
 		time.Sleep(*telLinger)

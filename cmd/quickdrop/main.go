@@ -35,8 +35,9 @@ func main() {
 		saveState     = flag.String("save", "", "persist full system state (model + synthetic sets + forget ledger) to this file")
 		loadState     = flag.String("load", "", "restore system state instead of training")
 		seed          = flag.Int64("seed", 1, "random seed")
-		telAddr       = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
+		telAddr       = flag.String("telemetry-addr", "", "serve /metrics, /dashboard, /api/series, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
 		eventsOut     = flag.String("events", "", "append JSONL telemetry events (spans) to this file")
+		ledgerDir     = flag.String("ledger", "", "write a run manifest into this directory (e.g. runs/)")
 	)
 	flag.Parse()
 
@@ -53,17 +54,16 @@ func main() {
 	cfg.Distill.Scale = *distillScale
 
 	var tracer *telemetry.Tracer
-	if *telAddr != "" || *eventsOut != "" {
-		reg := telemetry.NewRegistry()
+	if *telAddr != "" || *eventsOut != "" || *ledgerDir != "" {
 		tracer = telemetry.NewTracer(0)
-		cfg.Telemetry = telemetry.NewPipeline(reg, tracer, *clients)
+		cfg.Telemetry = telemetry.NewPipeline(telemetry.NewRegistry(), tracer, *clients)
 		if *telAddr != "" {
-			srv, err := telemetry.Serve(*telAddr, reg, tracer)
+			srv, err := telemetry.Serve(*telAddr, cfg.Telemetry)
 			if err != nil {
 				fatal(err)
 			}
 			defer func() { _ = srv.Close() }()
-			fmt.Printf("telemetry: serving on http://%s/metrics\n", srv.Addr())
+			fmt.Printf("telemetry: serving on http://%s/metrics (dashboard: /dashboard)\n", srv.Addr())
 		}
 	}
 
@@ -111,6 +111,7 @@ func main() {
 			fatal(err)
 		}
 		f, r := setup.SplitAccuracy(sys.Model, req)
+		cfg.Telemetry.RecordSplitAccuracy(f, r)
 		fmt.Printf("%v: F-Set %.2f%%, R-Set %.2f%% (unlearn %s on %d samples; recover %s on %d)\n",
 			req, 100*f, 100*r,
 			rep.Unlearn.WallTime.Round(time.Millisecond), rep.Unlearn.DataSize,
@@ -120,6 +121,7 @@ func main() {
 				fatal(err)
 			}
 			f, r = setup.SplitAccuracy(sys.Model, req)
+			cfg.Telemetry.RecordSplitAccuracy(f, r)
 			fmt.Printf("relearned %v: F-Set %.2f%%, R-Set %.2f%%\n", req, 100*f, 100*r)
 		}
 	}
@@ -150,6 +152,20 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("model written to %s\n", *modelOut)
+	}
+
+	if *ledgerDir != "" {
+		m := telemetry.BuildManifest(cfg.Telemetry, "quickdrop", *seed, map[string]string{
+			"dataset": *dataset,
+			"clients": fmt.Sprint(*clients),
+			"alpha":   fmt.Sprint(*alpha),
+			"scale":   *scaleName,
+		})
+		path, err := telemetry.WriteManifest(*ledgerDir, m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ledger: manifest written to %s\n", path)
 	}
 
 	if *eventsOut != "" {

@@ -113,6 +113,7 @@ func runQuickDrop(setup *Setup, opts MethodRunOpts) (MethodRow, error) {
 	}
 	sys.Cfg.Observer = func(stage string) {
 		f, r := setup.SplitAccuracy(sys.Model, opts.Req)
+		setup.Scale.Telemetry.RecordSplitAccuracy(f, r)
 		switch stage {
 		case "unlearn":
 			row.StageF, row.StageR = f, r
@@ -149,6 +150,7 @@ func runBaseline(setup *Setup, name string, opts MethodRunOpts) (MethodRow, erro
 	var m baselines.Method
 	cfg.Observer = func(stage string) {
 		f, r := setup.SplitAccuracy(m.Model(), opts.Req)
+		setup.Scale.Telemetry.RecordSplitAccuracy(f, r)
 		switch stage {
 		case "unlearn":
 			row.StageF, row.StageR = f, r

@@ -1,0 +1,82 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"quickdrop/internal/telemetry"
+)
+
+// TestAnalyzerAttributesSlowClient drives a real sequential phase with
+// a hand-cranked telemetry clock that charges client 2 ten times the
+// wall time of its peers, then checks the span analyzer pins every
+// round's critical path on that client — the end-to-end straggler
+// attribution the flight recorder exists for.
+func TestAnalyzerAttributesSlowClient(t *testing.T) {
+	var now int64
+	restore := telemetry.SetClockForTesting(func() int64 { return now })
+	defer restore()
+
+	_, parts, _ := testSetup(t, 3, 0)
+	_, model := testFactory()
+	pipe := testPipeline(len(parts))
+
+	const slow = 2
+	rounds, steps := 4, 5
+	cfg := PhaseConfig{
+		Rounds: rounds, LocalSteps: steps, BatchSize: 8, LR: 0.05,
+		Telemetry: pipe, Phase: "train",
+		Hook: func(ctx StepContext) {
+			// Advance the clock inside the client span: 10ms per step
+			// for the slow client, 1ms for everyone else.
+			if ctx.ClientID == slow {
+				now += int64(10 * time.Millisecond)
+			} else {
+				now += int64(time.Millisecond)
+			}
+		},
+	}
+	if _, err := RunPhase(model, parts, cfg, rand.New(rand.NewSource(90))); err != nil {
+		t.Fatal(err)
+	}
+
+	an := pipe.Tracer.Analyze()
+	if len(an.Rounds) != rounds {
+		t.Fatalf("analyzed %d rounds, want %d", len(an.Rounds), rounds)
+	}
+	for _, r := range an.Rounds {
+		if r.Straggler != slow {
+			t.Errorf("round %d critical path attributed to client %d, want %d", r.Round, r.Straggler, slow)
+		}
+		if r.Slowdown != 10 {
+			t.Errorf("round %d slowdown = %v, want 10 (50ms vs 5ms median)", r.Round, r.Slowdown)
+		}
+	}
+	worst := an.Straggler()
+	if worst == nil || worst.Client != slow || worst.Dominated != rounds {
+		t.Fatalf("headline straggler = %+v, want client %d dominating all %d rounds", worst, slow, rounds)
+	}
+
+	// The recorder saw the same rounds: per-client series carry one
+	// point per round, and the slow client's durations dwarf the rest.
+	if id, ok := pipe.Series.ID("fl_client_2_seconds"); !ok {
+		t.Fatal("per-client series missing")
+	} else {
+		pts := pipe.Series.Points(id)
+		if len(pts) != rounds {
+			t.Fatalf("slow client series has %d points, want %d", len(pts), rounds)
+		}
+		for _, p := range pts {
+			if p.Y != 0.05 {
+				t.Errorf("slow client round duration = %v, want 0.05s", p.Y)
+			}
+		}
+	}
+	if total := pipe.Series.Total(func() telemetry.SeriesID {
+		id, _ := pipe.Series.ID("train_loss")
+		return id
+	}()); total != uint64(rounds*steps*len(parts)) {
+		t.Errorf("loss series recorded %d points, want %d", total, rounds*steps*len(parts))
+	}
+}

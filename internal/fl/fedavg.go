@@ -222,6 +222,7 @@ func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round
 			cfg.Counter.AddBatch(len(idx))
 		}
 		cfg.Telemetry.LocalStep(clientID, len(idx))
+		cfg.Telemetry.RecordLoss(float64(round*cfg.LocalSteps+step), loss.Data.Data()[0])
 		if cfg.Hook != nil {
 			cfg.Hook(StepContext{
 				Round: round, Step: step, ClientID: clientID,

@@ -36,6 +36,10 @@ var recordSafeTelemetry = map[string]bool{
 	"StartClient": true, "EndClient": true,
 	"StartDistill": true, "EndDistill": true,
 	"DropUpdate": true, "Request": true,
+	// flight-recorder record paths (series appends and the pipeline
+	// wrappers over them, plus the streaming quantile fold)
+	"Append": true, "RecordLoss": true, "RecordAccuracy": true,
+	"RecordSplitAccuracy": true,
 }
 
 func runTelemetryRule(pass *Pass) {

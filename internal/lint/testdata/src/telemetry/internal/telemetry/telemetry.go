@@ -42,3 +42,39 @@ func (t *Tracer) Snapshot() []uint64 {
 	copy(out, t.ring)
 	return out
 }
+
+// SeriesID addresses one pre-registered series.
+type SeriesID int32
+
+// SeriesStore is the flight recorder's bounded series log.
+type SeriesStore struct{ rings [][]float64 }
+
+// Register adds a series — setup-time only (allocates the ring).
+func (s *SeriesStore) Register(name string, capacity int) SeriesID {
+	s.rings = append(s.rings, make([]float64, capacity))
+	return SeriesID(len(s.rings) - 1)
+}
+
+// Append writes one ring slot (record path, allocation-free).
+func (s *SeriesStore) Append(id SeriesID, x, y float64) {
+	s.rings[id][0] = y
+}
+
+// Points copies the retained samples out — reporting only.
+func (s *SeriesStore) Points(id SeriesID) []float64 {
+	out := make([]float64, len(s.rings[id]))
+	copy(out, s.rings[id])
+	return out
+}
+
+// Pipeline bundles record handles.
+type Pipeline struct{ s *SeriesStore }
+
+// RecordLoss appends one loss sample (record path).
+func (p *Pipeline) RecordLoss(x, loss float64) { p.s.Append(0, x, loss) }
+
+// Downsample reduces a series for plotting — reporting only.
+func Downsample(pts []float64, threshold int) []float64 {
+	out := make([]float64, 0, threshold)
+	return append(out, pts...)
+}

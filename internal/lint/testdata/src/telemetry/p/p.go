@@ -31,3 +31,23 @@ func warm(r *telemetry.Registry) {
 	c := r.NewCounter("warm") //lint:allow telemetry one-time registration before the loop body
 	c.Inc()
 }
+
+// record drives the flight recorder from the loop body: the ring-slot
+// appends pass, the read-side snapshot and downsample calls are
+// flagged.
+//
+//lint:hotpath
+func record(p *telemetry.Pipeline, s *telemetry.SeriesStore, id telemetry.SeriesID) {
+	p.RecordLoss(1, 0.5) // ok: record path
+	s.Append(id, 1, 2)   // ok: ring-slot write
+	readBack(s, id)
+}
+
+func readBack(s *telemetry.SeriesStore, id telemetry.SeriesID) {
+	pts := s.Points(id)               // want "telemetry call Points on the hot path of readBack"
+	_ = telemetry.Downsample(pts, 10) // want "telemetry call Downsample on the hot path of readBack"
+}
+
+func plot(s *telemetry.SeriesStore) telemetry.SeriesID {
+	return s.Register("loss", 64) // ok: not hot-reachable
+}

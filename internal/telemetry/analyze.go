@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// ClientStat is one client's measured contribution to a round.
+type ClientStat struct {
+	Client int32         `json:"client"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+// RoundReport is the analyzer's verdict on one FL round: its wall
+// time, the client on its critical path, and how far that client sat
+// from the round's median — the straggler attribution the paper's
+// wall-clock breakdowns need.
+type RoundReport struct {
+	Round        int32         `json:"round"`
+	Phase        string        `json:"phase"`
+	Dur          time.Duration `json:"dur_ns"`
+	Clients      []ClientStat  `json:"clients,omitempty"`
+	Distill      time.Duration `json:"distill_ns"`
+	Straggler    int32         `json:"straggler"` // -1 when no client spans were retained
+	StragglerDur time.Duration `json:"straggler_ns"`
+	Median       time.Duration `json:"median_ns"`
+	// Slowdown is StragglerDur / Median — 1.0 means a perfectly
+	// balanced round, 10 means the dominant client took 10× the
+	// median client.
+	Slowdown float64 `json:"slowdown"`
+	// CriticalFrac is StragglerDur / Dur: how much of the round's wall
+	// time the critical-path client accounts for.
+	CriticalFrac float64 `json:"critical_frac"`
+}
+
+// PhaseReport aggregates the retained rounds and wall time per phase.
+type PhaseReport struct {
+	Name   string        `json:"name"`
+	Spans  int           `json:"spans"`
+	Rounds int           `json:"rounds"`
+	Total  time.Duration `json:"total_ns"`
+}
+
+// ClientReport aggregates one client across every retained round.
+type ClientReport struct {
+	Client    int32         `json:"client"`
+	Rounds    int           `json:"rounds"`
+	Dominated int           `json:"dominated"` // rounds where this client was the straggler
+	Total     time.Duration `json:"total_ns"`
+	// MeanSlowdown averages the round slowdown over the rounds this
+	// client dominated (0 when it never dominated).
+	MeanSlowdown float64 `json:"mean_slowdown"`
+	MaxSlowdown  float64 `json:"max_slowdown"`
+}
+
+// LatencySummary is the streaming p50/p95/p99 of round wall time.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Analysis is the structured read of a span snapshot.
+type Analysis struct {
+	Rounds       []RoundReport
+	Phases       []PhaseReport
+	Clients      []ClientReport
+	RoundLatency LatencySummary
+}
+
+// Straggler returns the client dominating the most retained rounds
+// (the dashboard's headline attribution), or nil when no round
+// retained client spans.
+func (a *Analysis) Straggler() *ClientReport {
+	var worst *ClientReport
+	for i := range a.Clients {
+		c := &a.Clients[i]
+		if c.Dominated == 0 {
+			continue
+		}
+		if worst == nil || c.Dominated > worst.Dominated ||
+			(c.Dominated == worst.Dominated && c.MeanSlowdown > worst.MeanSlowdown) {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// Analyze builds round/phase/client analytics from a span snapshot
+// (oldest to newest, as Tracer.Snapshot returns). It tolerates a
+// wrapped ring: client spans whose round was evicted are dropped, and
+// rounds whose phase was evicted fold into the "other" phase. Analysis
+// is read-side — it allocates freely and takes no locks.
+func Analyze(recs []SpanRecord) *Analysis {
+	an := &Analysis{}
+	phaseName := make(map[uint64]string) // phase span ID → name
+	for _, r := range recs {
+		if r.Kind == SpanPhase {
+			phaseName[r.ID] = r.Name
+		}
+	}
+	// Children grouped under their round span.
+	clientsOf := make(map[uint64][]ClientStat)
+	distillOf := make(map[uint64]time.Duration)
+	for _, r := range recs {
+		switch r.Kind {
+		case SpanClientStep:
+			clientsOf[r.Parent] = append(clientsOf[r.Parent], ClientStat{Client: r.Client, Dur: r.Duration()})
+		case SpanDistillStep:
+			distillOf[r.Parent] += r.Duration()
+		}
+	}
+
+	lat := newPSquare(0.50)
+	lat95 := newPSquare(0.95)
+	lat99 := newPSquare(0.99)
+	phases := make(map[string]*PhaseReport)
+	clients := make(map[int32]*ClientReport)
+	slowdownSum := make(map[int32]float64)
+
+	for _, r := range recs {
+		switch r.Kind {
+		case SpanPhase:
+			p := phases[r.Name]
+			if p == nil {
+				p = &PhaseReport{Name: r.Name}
+				phases[r.Name] = p
+			}
+			p.Spans++
+			p.Total += r.Duration()
+		case SpanRound:
+			name := phaseName[r.Parent]
+			if name == "" {
+				name = "other"
+			}
+			rep := RoundReport{
+				Round: r.Round, Phase: name, Dur: r.Duration(),
+				Distill: distillOf[r.ID], Straggler: -1,
+			}
+			cs := clientsOf[r.ID]
+			sort.Slice(cs, func(a, b int) bool { return cs[a].Client < cs[b].Client })
+			rep.Clients = cs
+			if len(cs) > 0 {
+				durs := make([]time.Duration, len(cs))
+				worst := 0
+				for i, c := range cs {
+					durs[i] = c.Dur
+					if c.Dur > cs[worst].Dur {
+						worst = i
+					}
+				}
+				sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+				rep.Median = durs[len(durs)/2]
+				if len(durs)%2 == 0 {
+					rep.Median = (durs[len(durs)/2-1] + durs[len(durs)/2]) / 2
+				}
+				rep.Straggler = cs[worst].Client
+				rep.StragglerDur = cs[worst].Dur
+				if rep.Median > 0 {
+					rep.Slowdown = float64(rep.StragglerDur) / float64(rep.Median)
+				}
+				if rep.Dur > 0 {
+					rep.CriticalFrac = float64(rep.StragglerDur) / float64(rep.Dur)
+				}
+			}
+			an.Rounds = append(an.Rounds, rep)
+			if p := phases[name]; p != nil {
+				p.Rounds++
+			} else {
+				phases[name] = &PhaseReport{Name: name, Rounds: 1}
+			}
+			lat.add(r.Duration().Seconds())
+			lat95.add(r.Duration().Seconds())
+			lat99.add(r.Duration().Seconds())
+			for _, c := range cs {
+				cr := clients[c.Client]
+				if cr == nil {
+					cr = &ClientReport{Client: c.Client}
+					clients[c.Client] = cr
+				}
+				cr.Rounds++
+				cr.Total += c.Dur
+				if c.Client == rep.Straggler {
+					cr.Dominated++
+					slowdownSum[c.Client] += rep.Slowdown
+					if rep.Slowdown > cr.MaxSlowdown {
+						cr.MaxSlowdown = rep.Slowdown
+					}
+				}
+			}
+		}
+	}
+
+	for _, p := range phases {
+		an.Phases = append(an.Phases, *p)
+	}
+	sort.Slice(an.Phases, func(a, b int) bool { return an.Phases[a].Name < an.Phases[b].Name })
+	for id, c := range clients {
+		if c.Dominated > 0 {
+			c.MeanSlowdown = slowdownSum[id] / float64(c.Dominated)
+		}
+		an.Clients = append(an.Clients, *c)
+	}
+	sort.Slice(an.Clients, func(a, b int) bool { return an.Clients[a].Client < an.Clients[b].Client })
+	if n := lat.n; n > 0 {
+		an.RoundLatency = LatencySummary{
+			Count: int(n),
+			P50:   time.Duration(lat.value() * float64(time.Second)),
+			P95:   time.Duration(lat95.value() * float64(time.Second)),
+			P99:   time.Duration(lat99.value() * float64(time.Second)),
+		}
+	}
+	return an
+}
+
+// Analyze runs the span analytics over the tracer's retained records.
+// Nil-safe: a nil tracer yields an empty analysis.
+func (t *Tracer) Analyze() *Analysis {
+	return Analyze(t.Snapshot())
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// buildRounds simulates a phase where client `slow` takes slowFactor×
+// the base duration every round, via the pipeline's own span plumbing.
+func buildRounds(p *Pipeline, tick func(time.Duration), rounds, clients, slow int, base, slowDur time.Duration) {
+	pt := p.StartPhase("train")
+	for r := 0; r < rounds; r++ {
+		rs := p.StartRound(r)
+		for c := 0; c < clients; c++ {
+			cs := p.StartClient(r, c)
+			if c == slow {
+				tick(slowDur)
+			} else {
+				tick(base)
+			}
+			p.EndClient(cs)
+		}
+		p.EndRound(rs, clients)
+	}
+	pt.Stop()
+}
+
+func TestAnalyzeStragglerAttribution(t *testing.T) {
+	tick := fakeClock(t)
+	p := NewPipeline(NewRegistry(), NewTracer(0), 3)
+	buildRounds(p, tick, 4, 3, 1, 5*time.Millisecond, 50*time.Millisecond)
+
+	an := p.Tracer.Analyze()
+	if len(an.Rounds) != 4 {
+		t.Fatalf("analyzed %d rounds, want 4", len(an.Rounds))
+	}
+	for _, r := range an.Rounds {
+		if r.Straggler != 1 {
+			t.Errorf("round %d straggler = %d, want 1", r.Round, r.Straggler)
+		}
+		if r.Phase != "train" {
+			t.Errorf("round %d phase = %q, want train", r.Round, r.Phase)
+		}
+		if r.Slowdown != 10 {
+			t.Errorf("round %d slowdown = %v, want 10 (50ms vs 5ms median)", r.Round, r.Slowdown)
+		}
+		if r.StragglerDur != 50*time.Millisecond || r.Median != 5*time.Millisecond {
+			t.Errorf("round %d straggler=%v median=%v", r.Round, r.StragglerDur, r.Median)
+		}
+		// Sequential execution: the round's wall time is the sum of its
+		// clients, so the slow client owns 50/60 of the critical path.
+		if r.CriticalFrac < 0.8 || r.CriticalFrac > 0.85 {
+			t.Errorf("round %d critical frac = %v, want ~0.833", r.Round, r.CriticalFrac)
+		}
+	}
+
+	worst := an.Straggler()
+	if worst == nil || worst.Client != 1 {
+		t.Fatalf("headline straggler = %+v, want client 1", worst)
+	}
+	if worst.Dominated != 4 || worst.MeanSlowdown != 10 || worst.MaxSlowdown != 10 {
+		t.Errorf("straggler report = %+v", worst)
+	}
+
+	if len(an.Phases) != 1 || an.Phases[0].Name != "train" || an.Phases[0].Rounds != 4 {
+		t.Errorf("phases = %+v", an.Phases)
+	}
+	if an.RoundLatency.Count != 4 {
+		t.Errorf("latency count = %d, want 4", an.RoundLatency.Count)
+	}
+	// Every round took 60ms; with <5 samples the estimator interpolates
+	// over the raw buffer, so p50 sits at 60ms (± float seconds→ns
+	// round-trip).
+	if d := an.RoundLatency.P50 - 60*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("p50 = %v, want ~60ms", an.RoundLatency.P50)
+	}
+}
+
+func TestAnalyzeToleratesEvictedParents(t *testing.T) {
+	tick := fakeClock(t)
+	// Capacity 6 retains only the tail of the run: round spans whose
+	// phase record was evicted must fold into "other", and client spans
+	// whose round was evicted must be dropped, not crash. End the phase
+	// span FIRST so the subsequent round/client records overwrite it.
+	p := NewPipeline(NewRegistry(), NewTracer(6), 2)
+	p.StartPhase("train").Stop()
+	for r := 0; r < 5; r++ {
+		rs := p.StartRound(r)
+		for c := 0; c < 2; c++ {
+			cs := p.StartClient(r, c)
+			tick(time.Millisecond)
+			p.EndClient(cs)
+		}
+		p.EndRound(rs, 2)
+	}
+	an := p.Tracer.Analyze()
+	for _, r := range an.Rounds {
+		if r.Phase != "other" {
+			t.Errorf("round %d phase = %q, want other (phase span evicted)", r.Round, r.Phase)
+		}
+	}
+	if len(an.Rounds) == 0 {
+		t.Error("expected some retained rounds")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	an := Analyze(nil)
+	if len(an.Rounds) != 0 || len(an.Clients) != 0 || an.RoundLatency.Count != 0 {
+		t.Errorf("empty analysis = %+v", an)
+	}
+	if an.Straggler() != nil {
+		t.Error("empty analysis should have no straggler")
+	}
+	var tr *Tracer
+	if got := tr.Analyze(); len(got.Rounds) != 0 {
+		t.Error("nil tracer Analyze should be empty")
+	}
+}

@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// dashboardPoints caps how many samples each sparkline renders; longer
+// series are LTTB-downsampled to this before plotting.
+const dashboardPoints = 160
+
+// seriesJSON is one series in the /api/series payload.
+type seriesJSON struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help"`
+	Total  uint64  `json:"total"`
+	Points []Point `json:"points"`
+}
+
+// writeSeriesJSON serves the flight-recorder series as JSON. Query
+// parameters: name= selects one series (404 when absent), n= caps the
+// returned points via LTTB downsampling.
+func writeSeriesJSON(w http.ResponseWriter, r *http.Request, p *Pipeline) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var store *SeriesStore
+	if p != nil {
+		store = p.Series
+	}
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			n = v
+		}
+	}
+	collect := func(name string) seriesJSON {
+		id, _ := store.ID(name)
+		pts := store.Points(id)
+		if n > 0 {
+			pts = Downsample(pts, n)
+		}
+		if pts == nil {
+			pts = []Point{}
+		}
+		return seriesJSON{Name: name, Help: store.Help(id), Total: store.Total(id), Points: pts}
+	}
+	if name := r.URL.Query().Get("name"); name != "" {
+		if _, ok := store.ID(name); !ok {
+			http.Error(w, `{"error":"unknown series"}`, http.StatusNotFound)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(collect(name))
+		return
+	}
+	out := struct {
+		Series []seriesJSON `json:"series"`
+	}{Series: []seriesJSON{}}
+	for _, name := range store.Names() {
+		out.Series = append(out.Series, collect(name))
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// sparkline is one rendered chart card.
+type sparkline struct {
+	Name  string
+	Help  string
+	Last  string
+	Count uint64
+	Path  template.HTML // SVG polyline points, precomputed server-side
+	MinY  string
+	MaxY  string
+	Empty bool
+}
+
+// dashData feeds the dashboard template.
+type dashData struct {
+	Rounds    int64
+	Retained  int
+	Total     uint64
+	Latency   LatencySummary
+	HasLat    bool
+	Sparks    []sparkline
+	RoundRows []RoundReport
+	Clients   []ClientReport
+	Straggler int32
+}
+
+// sparkPath scales pts into a w×h viewBox polyline with a small inset
+// so the 2px stroke never clips.
+func sparkPath(pts []Point, w, h float64) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const inset = 3.0
+	var b strings.Builder
+	for i, p := range pts {
+		x := inset + (p.X-minX)/(maxX-minX)*(w-2*inset)
+		y := h - inset - (p.Y-minY)/(maxY-minY)*(h-2*inset)
+		if i > 0 {
+			_ = b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+	}
+	return b.String()
+}
+
+// fmtVal renders a sample value compactly for the card headline.
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "–"
+	case v != 0 && math.Abs(v) < 0.001:
+		return strconv.FormatFloat(v, 'e', 2, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}
+
+// writeDashboard renders the self-contained flight-recorder page: no
+// external assets, inline SVG sparklines, auto-refresh.
+func writeDashboard(w http.ResponseWriter, p *Pipeline) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	d := dashData{Straggler: -1}
+	if p != nil {
+		d.Rounds = p.Rounds.Value()
+		d.Retained = p.Tracer.Len()
+		d.Total = p.Tracer.Total()
+		an := p.Tracer.Analyze()
+		d.Latency = an.RoundLatency
+		d.HasLat = an.RoundLatency.Count > 0
+		d.Clients = an.Clients
+		if s := an.Straggler(); s != nil {
+			d.Straggler = s.Client
+		}
+		// Newest rounds first, capped for the table.
+		for i := len(an.Rounds) - 1; i >= 0 && len(d.RoundRows) < 12; i-- {
+			d.RoundRows = append(d.RoundRows, an.Rounds[i])
+		}
+		store := p.Series
+		for _, name := range store.Names() {
+			id, _ := store.ID(name)
+			total := store.Total(id)
+			if total == 0 {
+				continue
+			}
+			pts := Downsample(store.Points(id), dashboardPoints)
+			sp := sparkline{
+				Name:  name,
+				Help:  store.Help(id),
+				Count: total,
+				Last:  fmtVal(pts[len(pts)-1].Y),
+				Path:  template.HTML(sparkPath(pts, 280, 64)),
+			}
+			minY, maxY := pts[0].Y, pts[0].Y
+			for _, pt := range pts {
+				minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+			}
+			sp.MinY, sp.MaxY = fmtVal(minY), fmtVal(maxY)
+			d.Sparks = append(d.Sparks, sp)
+		}
+	}
+	if len(d.Sparks) == 0 {
+		d.Sparks = nil
+	}
+	// Template execution over an in-process value only fails if the
+	// client hung up mid-write.
+	_ = dashTmpl.Execute(w, d)
+}
+
+// dashTmpl is the whole dashboard: one HTML document, zero external
+// assets. Color roles follow the validated reference palette (light and
+// dark chart surfaces, series-1 blue for the single-series sparklines,
+// text always in ink tokens, hairline grid); dark mode is its own
+// stepped values under prefers-color-scheme, not an automatic flip.
+var dashTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
+	"secs": func(d interface{ Seconds() float64 }) string { return fmtVal(d.Seconds()) },
+	"f2":   func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>QuickDrop flight recorder</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --border: rgba(11,11,11,0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --series-1: #3987e5;
+  --border: rgba(255,255,255,0.10);
+}
+body.viz-root {
+  margin: 0; padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+}
+h1 { font-size: 18px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin: 0 0 20px; }
+.stats { display: flex; gap: 24px; flex-wrap: wrap; margin-bottom: 24px; }
+.stat { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 12px 16px; }
+.stat .k { color: var(--text-muted); font-size: 12px; }
+.stat .v { font-size: 22px; }
+.cards { display: flex; gap: 16px; flex-wrap: wrap; margin-bottom: 24px; }
+.card { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 12px 16px; width: 300px; }
+.card .name { font-size: 13px; color: var(--text-primary); }
+.card .meta { font-size: 11px; color: var(--text-muted); }
+.card .last { font-size: 18px; color: var(--text-primary); margin: 2px 0 6px; }
+.card svg { display: block; }
+table { border-collapse: collapse; background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; margin-bottom: 24px; }
+caption { text-align: left; color: var(--text-secondary); padding: 6px 2px; caption-side: top; }
+th { color: var(--text-muted); font-weight: 500; font-size: 12px; text-align: right; padding: 6px 12px; border-bottom: 1px solid var(--grid); }
+th:first-child, td:first-child { text-align: left; }
+td { text-align: right; padding: 5px 12px; font-variant-numeric: tabular-nums; color: var(--text-secondary); border-bottom: 1px solid var(--grid); }
+tr:last-child td { border-bottom: none; }
+tr.worst td { color: var(--text-primary); font-weight: 600; }
+.empty { color: var(--text-muted); }
+</style>
+</head>
+<body class="viz-root">
+<h1>QuickDrop flight recorder</h1>
+<p class="sub">Live view of the run&#8217;s time series and span analytics. Refreshes every 2&#8239;s.</p>
+<div class="stats">
+  <div class="stat"><div class="k">rounds</div><div class="v">{{.Rounds}}</div></div>
+  <div class="stat"><div class="k">spans retained / total</div><div class="v">{{.Retained}} / {{.Total}}</div></div>
+  {{if .HasLat}}
+  <div class="stat"><div class="k">round p50</div><div class="v">{{secs .Latency.P50}}s</div></div>
+  <div class="stat"><div class="k">round p95</div><div class="v">{{secs .Latency.P95}}s</div></div>
+  <div class="stat"><div class="k">round p99</div><div class="v">{{secs .Latency.P99}}s</div></div>
+  {{end}}
+</div>
+{{if .Sparks}}
+<div class="cards">
+{{range .Sparks}}
+  <div class="card">
+    <div class="name">{{.Name}}</div>
+    <div class="last">{{.Last}}</div>
+    <svg width="280" height="64" viewBox="0 0 280 64" role="img" aria-label="{{.Name}} sparkline">
+      <line x1="3" y1="61" x2="277" y2="61" stroke="var(--baseline)" stroke-width="1"/>
+      <polyline points="{{.Path}}" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>
+    </svg>
+    <div class="meta">{{.Count}} samples &#183; range {{.MinY}}&#8202;&#8211;&#8202;{{.MaxY}}</div>
+  </div>
+{{end}}
+</div>
+{{else}}
+<p class="empty">No series samples recorded yet.</p>
+{{end}}
+{{if .Clients}}
+<table>
+  <caption>Straggler attribution &#8212; per-client totals over retained rounds{{if ge .Straggler 0}} (client {{.Straggler}} dominates){{end}}</caption>
+  <tr><th>client</th><th>rounds</th><th>dominated</th><th>total&#8239;s</th><th>mean slowdown</th><th>max slowdown</th></tr>
+  {{$worst := .Straggler}}
+  {{range .Clients}}
+  <tr{{if eq .Client $worst}} class="worst"{{end}}>
+    <td>{{.Client}}</td><td>{{.Rounds}}</td><td>{{.Dominated}}</td>
+    <td>{{secs .Total}}</td><td>{{f2 .MeanSlowdown}}&#215;</td><td>{{f2 .MaxSlowdown}}&#215;</td>
+  </tr>
+  {{end}}
+</table>
+{{end}}
+{{if .RoundRows}}
+<table>
+  <caption>Recent rounds (newest first)</caption>
+  <tr><th>round</th><th>phase</th><th>wall&#8239;s</th><th>straggler</th><th>slowdown</th><th>critical frac</th><th>distill&#8239;s</th></tr>
+  {{range .RoundRows}}
+  <tr>
+    <td>{{.Round}}</td><td>{{.Phase}}</td><td>{{secs .Dur}}</td>
+    <td>{{if ge .Straggler 0}}{{.Straggler}}{{else}}&#8211;{{end}}</td>
+    <td>{{f2 .Slowdown}}&#215;</td><td>{{f2 .CriticalFrac}}</td><td>{{secs .Distill}}</td>
+  </tr>
+  {{end}}
+</table>
+{{end}}
+</body>
+</html>
+`))

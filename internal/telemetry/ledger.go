@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// MetricSummary is the point-in-time reduction of one instrument for
+// the run manifest: counters carry Count, gauges Sum, histograms all
+// five fields. Quantiles are zeroed (not NaN) before the first
+// observation so the manifest always round-trips through JSON.
+type MetricSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Manifest is one run's ledger entry: enough provenance to reproduce
+// the run and enough metric state to diff it against another run.
+type Manifest struct {
+	Stamp     string            `json:"stamp"`
+	Tool      string            `json:"tool"`
+	GoVersion string            `json:"go_version"`
+	Seed      int64             `json:"seed"`
+	Config    map[string]string `json:"config,omitempty"`
+	// Metrics summarizes every registry family series under its
+	// exposition name (label value appended as name{label=value}).
+	Metrics map[string]MetricSummary `json:"metrics,omitempty"`
+	// Final holds the last sample of each flight-recorder series —
+	// the values regression diffing compares (final accuracy, final
+	// loss, …).
+	Final map[string]float64 `json:"final,omitempty"`
+	// SeriesTotal is how many points each series ever recorded.
+	SeriesTotal  map[string]uint64 `json:"series_total,omitempty"`
+	RoundLatency LatencySummary    `json:"round_latency"`
+}
+
+// NewStamp formats the telemetry clock as a filesystem-safe UTC stamp
+// with nanosecond precision (collision-proof within one machine).
+func NewStamp() string {
+	t := time.Unix(0, Now()).UTC()
+	return t.Format("20060102T150405.000000000Z")
+}
+
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Summaries reduces every registered family to MetricSummary entries,
+// keyed by exposition name (plus `{label="value"}` for vec series).
+func (r *Registry) Summaries() map[string]MetricSummary {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]MetricSummary)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			key := f.name + promLabel(f.label, s.labelValue)
+			switch f.kind {
+			case kindCounter:
+				out[key] = MetricSummary{Count: s.c.Value()}
+			case kindGauge:
+				out[key] = MetricSummary{Sum: s.g.Value()}
+			case kindHistogram:
+				ms := MetricSummary{Count: s.h.Count(), Sum: s.h.Sum()}
+				if s.h.Quantiles().Count() > 0 {
+					p50, p95, p99 := s.h.Quantiles().Values()
+					ms.P50, ms.P95, ms.P99 = nanToZero(p50), nanToZero(p95), nanToZero(p99)
+				}
+				out[key] = ms
+			}
+		}
+	}
+	return out
+}
+
+// BuildManifest snapshots the pipeline into a ledger entry. Config is
+// the caller's flag/parameter map (copied); tool names the binary.
+// Nil-safe: a nil pipeline yields a provenance-only manifest.
+func BuildManifest(p *Pipeline, tool string, seed int64, config map[string]string) *Manifest {
+	m := &Manifest{
+		Stamp:     NewStamp(),
+		Tool:      tool,
+		GoVersion: runtime.Version(),
+		Seed:      seed,
+	}
+	if len(config) > 0 {
+		m.Config = make(map[string]string, len(config))
+		for k, v := range config {
+			m.Config[k] = v
+		}
+	}
+	if p == nil {
+		return m
+	}
+	m.Metrics = p.Registry.Summaries()
+	if names := p.Series.Names(); len(names) > 0 {
+		m.Final = make(map[string]float64)
+		m.SeriesTotal = make(map[string]uint64)
+		for _, name := range names {
+			id, _ := p.Series.ID(name)
+			pts := p.Series.Points(id)
+			if len(pts) == 0 {
+				continue
+			}
+			m.Final[name] = nanToZero(pts[len(pts)-1].Y)
+			m.SeriesTotal[name] = p.Series.Total(id)
+		}
+	}
+	if an := p.Tracer.Analyze(); an.RoundLatency.Count > 0 {
+		m.RoundLatency = an.RoundLatency
+	}
+	return m
+}
+
+// WriteManifest writes the manifest to dir/<stamp>.json (creating dir)
+// and returns the path.
+func WriteManifest(dir string, m *Manifest) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, m.Stamp+".json")
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadManifest loads one ledger entry.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// DiffOptions are the regression thresholds. Zero values select the
+// defaults.
+type DiffOptions struct {
+	// AccuracyDrop is the tolerated absolute drop in any *accuracy
+	// series final value (default 0.05). The forget-set series is
+	// inverted: unlearning WANTS fset accuracy low, so a RISE beyond
+	// the threshold is the regression.
+	AccuracyDrop float64
+	// TimeGrowPct is the tolerated percentage growth in any *_seconds
+	// histogram sum (default 25).
+	TimeGrowPct float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.AccuracyDrop == 0 {
+		o.AccuracyDrop = 0.05
+	}
+	if o.TimeGrowPct == 0 {
+		o.TimeGrowPct = 25
+	}
+	return o
+}
+
+// DiffEntry is one compared metric.
+type DiffEntry struct {
+	Metric     string  `json:"metric"`
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	Delta      float64 `json:"delta"`
+	Regression bool    `json:"regression"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// hasSuffix avoids importing strings for two call sites.
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// baseName strips a vec key's `{label="value"}` suffix so suffix
+// matching sees the exposition name.
+func baseName(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '{' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Diff compares two manifests (old → new). It returns every compared
+// metric plus whether any crossed its regression threshold: accuracy
+// finals may not drop (forget-set: may not rise) beyond AccuracyDrop,
+// and *_seconds histogram sums may not grow beyond TimeGrowPct — but
+// only where both runs actually observed the metric.
+func Diff(oldM, newM *Manifest, opts DiffOptions) (entries []DiffEntry, regressed bool) {
+	opts = opts.withDefaults()
+	names := make([]string, 0, len(oldM.Final))
+	for name := range oldM.Final {
+		if _, ok := newM.Final[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := oldM.Final[name], newM.Final[name]
+		e := DiffEntry{Metric: "final:" + name, Old: o, New: n, Delta: n - o}
+		if hasSuffix(name, "accuracy") {
+			if name == "fset_accuracy" {
+				// Inverted: the unlearned model regaining forget-set
+				// accuracy means the unlearning regressed.
+				if n > o+opts.AccuracyDrop {
+					e.Regression = true
+					e.Reason = fmt.Sprintf("forget-set accuracy rose %.4f > %.4f threshold", n-o, opts.AccuracyDrop)
+				}
+			} else if n < o-opts.AccuracyDrop {
+				e.Regression = true
+				e.Reason = fmt.Sprintf("accuracy dropped %.4f > %.4f threshold", o-n, opts.AccuracyDrop)
+			}
+		}
+		entries = append(entries, e)
+		regressed = regressed || e.Regression
+	}
+
+	mnames := make([]string, 0, len(oldM.Metrics))
+	for name := range oldM.Metrics {
+		if _, ok := newM.Metrics[name]; ok && hasSuffix(baseName(name), "_seconds") {
+			mnames = append(mnames, name)
+		}
+	}
+	sort.Strings(mnames)
+	for _, name := range mnames {
+		o, n := oldM.Metrics[name], newM.Metrics[name]
+		if o.Count == 0 || n.Count == 0 || o.Sum <= 0 {
+			continue
+		}
+		e := DiffEntry{Metric: "sum:" + name, Old: o.Sum, New: n.Sum, Delta: n.Sum - o.Sum}
+		growPct := (n.Sum - o.Sum) / o.Sum * 100
+		if growPct > opts.TimeGrowPct {
+			e.Regression = true
+			e.Reason = fmt.Sprintf("wall time grew %.1f%% > %.1f%% threshold", growPct, opts.TimeGrowPct)
+		}
+		entries = append(entries, e)
+		regressed = regressed || e.Regression
+	}
+	return entries, regressed
+}

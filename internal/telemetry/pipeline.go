@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -32,6 +33,7 @@ func phaseIndex(name string) int {
 type Pipeline struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Series   *SeriesStore
 
 	// FL substrate.
 	Rounds       *Counter      // quickdrop_fl_rounds_total
@@ -54,6 +56,18 @@ type Pipeline struct {
 	exp      Span
 	curPhase atomic.Uint64
 	curRound atomic.Uint64
+	evalSeq  atomic.Uint64
+
+	// Flight-recorder series IDs, resolved once at construction so the
+	// record paths are slice-indexed appends with no name lookups.
+	sRound    SeriesID
+	sPhase    SeriesID
+	sAccuracy SeriesID
+	sFSet     SeriesID
+	sRSet     SeriesID
+	sLoss     SeriesID
+	sDistill  SeriesID
+	sClient   []SeriesID // per-client round durations, indexed by client ID
 }
 
 // RequestKindNames are the label values of UnlearnRequests, aligned
@@ -91,6 +105,29 @@ func NewPipeline(reg *Registry, tr *Tracer, clients int) *Pipeline {
 			"Unlearning requests served.", "kind", RequestKindNames),
 	}
 	p.exp = tr.Start(SpanExperiment, "experiment", 0, -1, -1)
+
+	// The flight recorder: bounded per-run time series behind the same
+	// instruments. Registered only when metrics are on (reg != nil) so a
+	// fully disabled pipeline stays handle-free; every ID degrades to the
+	// silent-drop invalid ID on a nil store.
+	if reg != nil {
+		s := NewSeriesStore()
+		p.Series = s
+		p.sRound = s.Register("fl_round_seconds", "FedAvg round wall time (x: cumulative round).", 0)
+		p.sPhase = s.Register("phase_seconds", "Phase wall time (x: phase sequence).", 0)
+		p.sAccuracy = s.Register("eval_accuracy", "Global model accuracy (x: caller's round).", 0)
+		p.sFSet = s.Register("fset_accuracy", "Accuracy on the forget set (x: eval sequence).", 0)
+		p.sRSet = s.Register("rset_accuracy", "Accuracy on the retain set (x: eval sequence).", 0)
+		p.sLoss = s.Register("train_loss", "Client-local training loss (x: cumulative local step).", 0)
+		p.sDistill = s.Register("distill_step_seconds", "Gradient-matching update wall time (x: cumulative step).", 0)
+		p.sClient = make([]SeriesID, clients)
+		for i := range p.sClient {
+			p.sClient[i] = s.Register(fmt.Sprintf("fl_client_%d_seconds", i),
+				"Per-round local-steps wall time for one client (x: round).", 0)
+		}
+	} else {
+		p.sRound, p.sPhase, p.sAccuracy, p.sFSet, p.sRSet, p.sLoss, p.sDistill = -1, -1, -1, -1, -1, -1, -1
+	}
 	return p
 }
 
@@ -132,6 +169,7 @@ func (t PhaseTimer) Stop() time.Duration {
 		t.span.End()
 		t.p.Phases.Inc()
 		t.p.PhaseSeconds.At(phaseIndex(t.name)).Observe(d.Seconds())
+		t.p.Series.Append(t.p.sPhase, float64(t.p.Phases.Value()), d.Seconds())
 	}
 	return d
 }
@@ -155,6 +193,7 @@ func (p *Pipeline) EndRound(sp Span, participants int) {
 	p.Rounds.Inc()
 	p.RoundSeconds.Observe(d.Seconds())
 	p.Participants.Set(float64(participants))
+	p.Series.Append(p.sRound, float64(p.Rounds.Value()), d.Seconds())
 }
 
 // StartClient opens a client-step span under the current round. Safe
@@ -166,12 +205,21 @@ func (p *Pipeline) StartClient(round, client int) Span {
 	return p.Tracer.Start(SpanClientStep, "client", p.curRound.Load(), round, client)
 }
 
-// EndClient closes a client-step span.
+// EndClient closes a client-step span and feeds the client's series.
+// The sp.tr guard matters: with a nil tracer StartClient hands back the
+// zero Span, whose round/client fields would otherwise append a bogus
+// (0,0) point to client 0's series.
 func (p *Pipeline) EndClient(sp Span) {
 	if p == nil {
 		return
 	}
-	sp.End()
+	d := sp.End()
+	if sp.tr == nil {
+		return
+	}
+	if c := int(sp.client); c >= 0 && c < len(p.sClient) {
+		p.Series.Append(p.sClient[c], float64(sp.round), d.Seconds())
+	}
 }
 
 // LocalStep records one client-local update step. This sits on the
@@ -211,6 +259,7 @@ func (p *Pipeline) EndDistill(sp Span, d time.Duration) {
 	p.DistillSteps.Inc()
 	p.DistillStepSeconds.Observe(d.Seconds())
 	p.DistillSecondsSum.Add(d.Seconds())
+	p.Series.Append(p.sDistill, float64(p.DistillSteps.Value()), d.Seconds())
 }
 
 // Request records one unlearning request of the given kind index
@@ -220,4 +269,35 @@ func (p *Pipeline) Request(kindIndex int) {
 		return
 	}
 	p.UnlearnRequests.At(kindIndex).Inc()
+}
+
+// RecordAccuracy appends one global-accuracy sample at the caller's x
+// coordinate (typically the round index).
+func (p *Pipeline) RecordAccuracy(x, acc float64) {
+	if p == nil {
+		return
+	}
+	p.Series.Append(p.sAccuracy, x, acc)
+}
+
+// RecordSplitAccuracy appends one (forget-set, retain-set) accuracy
+// pair at an internally sequenced x coordinate, so evaluation sites
+// need no shared counter of their own.
+func (p *Pipeline) RecordSplitAccuracy(fset, rset float64) {
+	if p == nil {
+		return
+	}
+	x := float64(p.evalSeq.Add(1))
+	p.Series.Append(p.sFSet, x, fset)
+	p.Series.Append(p.sRSet, x, rset)
+}
+
+// RecordLoss appends one client-local training-loss sample. This sits
+// on the training hot path (//lint:hotpath): one ring-slot write under
+// the series mutex, no allocation.
+func (p *Pipeline) RecordLoss(x, loss float64) {
+	if p == nil {
+		return
+	}
+	p.Series.Append(p.sLoss, x, loss)
 }

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+)
+
+// psquare is the P² streaming quantile estimator of Jain & Chlamtac
+// (CACM '85): five markers track the running p-quantile of a stream
+// without storing samples. Add is O(1) with zero allocations — the
+// whole state lives in fixed arrays — which is what lets every
+// Histogram carry p50/p95/p99 estimates on its record path.
+type psquare struct {
+	p float64
+	n int64 // observations seen
+	// First five observations buffer until the markers initialize.
+	init [5]float64
+	// Marker heights, positions (1-based) and desired positions.
+	h   [5]float64
+	pos [5]float64
+	des [5]float64
+	inc [5]float64
+}
+
+// newPSquare returns an estimator for the p-quantile (0 < p < 1).
+func newPSquare(p float64) psquare {
+	return psquare{p: p, inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1}}
+}
+
+// add folds one observation into the estimate.
+func (q *psquare) add(v float64) {
+	if q.n < 5 {
+		// Insertion sort into the warm-up buffer.
+		i := q.n
+		for i > 0 && q.init[i-1] > v {
+			q.init[i] = q.init[i-1]
+			i--
+		}
+		q.init[i] = v
+		q.n++
+		if q.n == 5 {
+			q.h = q.init
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+			q.des = [5]float64{1, 1 + 2*q.p, 1 + 4*q.p, 3 + 2*q.p, 5}
+		}
+		return
+	}
+	q.n++
+
+	// Locate the cell containing v, clamping the extremes.
+	var k int
+	switch {
+	case v < q.h[0]:
+		q.h[0] = v
+		k = 0
+	case v >= q.h[4]:
+		q.h[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < q.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.des {
+		q.des[i] += q.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions
+	// with the piecewise-parabolic (P²) prediction, falling back to
+	// linear when the parabola would cross a neighbour.
+	for i := 1; i <= 3; i++ {
+		d := q.des[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			hp := q.parabolic(i, s)
+			if q.h[i-1] < hp && hp < q.h[i+1] {
+				q.h[i] = hp
+			} else {
+				q.h[i] = q.linear(i, s)
+			}
+			q.pos[i] += s
+		}
+	}
+}
+
+func (q *psquare) parabolic(i int, s float64) float64 {
+	return q.h[i] + s/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+s)*(q.h[i+1]-q.h[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-s)*(q.h[i]-q.h[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *psquare) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return q.h[i] + s*(q.h[j]-q.h[i])/(q.pos[j]-q.pos[i])
+}
+
+// value returns the current estimate. With fewer than five samples it
+// interpolates over the sorted warm-up buffer; with none it is NaN.
+func (q *psquare) value() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	if q.n < 5 {
+		// Sorted prefix of the warm-up buffer: index by rank.
+		rank := q.p * float64(q.n-1)
+		lo := int(rank)
+		hi := lo + 1
+		if hi >= int(q.n) {
+			return q.init[q.n-1]
+		}
+		frac := rank - float64(lo)
+		return q.init[lo]*(1-frac) + q.init[hi]*frac
+	}
+	return q.h[2]
+}
+
+// Quantiles is a bundled p50/p95/p99 estimator over one stream. All
+// methods are safe for concurrent use and no-ops (NaN reads) on a nil
+// receiver; Observe is allocation-free.
+type Quantiles struct {
+	mu  sync.Mutex
+	q50 psquare
+	q95 psquare
+	q99 psquare
+}
+
+// NewQuantiles returns an empty p50/p95/p99 estimator set.
+func NewQuantiles() *Quantiles {
+	return &Quantiles{q50: newPSquare(0.50), q95: newPSquare(0.95), q99: newPSquare(0.99)}
+}
+
+// Observe folds one sample into all three estimates.
+func (q *Quantiles) Observe(v float64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.q50.add(v)
+	q.q95.add(v)
+	q.q99.add(v)
+	q.mu.Unlock()
+}
+
+// Values returns the current (p50, p95, p99) estimates; all NaN before
+// the first observation.
+func (q *Quantiles) Values() (p50, p95, p99 float64) {
+	if q == nil {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.q50.value(), q.q95.value(), q.q99.value()
+}
+
+// Count returns how many samples have been observed.
+func (q *Quantiles) Count() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.q50.n
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPSquareSmallStreams(t *testing.T) {
+	q := newPSquare(0.5)
+	if !math.IsNaN(q.value()) {
+		t.Error("empty estimator should read NaN")
+	}
+	q.add(3)
+	if got := q.value(); got != 3 {
+		t.Errorf("single sample p50 = %v, want 3", got)
+	}
+	q.add(1)
+	q.add(2)
+	if got := q.value(); got != 2 {
+		t.Errorf("3-sample p50 = %v, want 2", got)
+	}
+}
+
+func TestPSquareConvergesOnUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 0.5}, {0.95, 0.95}, {0.99, 0.99},
+	} {
+		q := newPSquare(tc.p)
+		for i := 0; i < 20000; i++ {
+			q.add(rng.Float64())
+		}
+		if got := q.value(); math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("p%.0f on U(0,1) = %v, want ~%v", 100*tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPSquareConvergesOnNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := newPSquare(0.5)
+	for i := 0; i < 20000; i++ {
+		q.add(rng.NormFloat64()*2 + 10)
+	}
+	if got := q.value(); math.Abs(got-10) > 0.15 {
+		t.Errorf("p50 of N(10,2) = %v, want ~10", got)
+	}
+}
+
+func TestQuantilesBundle(t *testing.T) {
+	q := NewQuantiles()
+	p50, p95, p99 := q.Values()
+	if !math.IsNaN(p50) || !math.IsNaN(p95) || !math.IsNaN(p99) {
+		t.Error("empty bundle should read NaN everywhere")
+	}
+	for i := 1; i <= 100; i++ {
+		q.Observe(float64(i))
+	}
+	if q.Count() != 100 {
+		t.Errorf("Count = %d, want 100", q.Count())
+	}
+	p50, p95, p99 = q.Values()
+	if math.Abs(p50-50) > 5 || math.Abs(p95-95) > 5 || math.Abs(p99-99) > 5 {
+		t.Errorf("quantiles of 1..100 = %v/%v/%v, want ~50/95/99", p50, p95, p99)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Errorf("quantiles not monotone: %v/%v/%v", p50, p95, p99)
+	}
+}
+
+func TestQuantilesNilSafe(t *testing.T) {
+	var q *Quantiles
+	q.Observe(1)
+	if q.Count() != 0 {
+		t.Error("nil Count should be 0")
+	}
+	p50, _, _ := q.Values()
+	if !math.IsNaN(p50) {
+		t.Error("nil Values should be NaN")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("quant_test_seconds", "", nil)
+	var nilH *Histogram
+	if nilH.Quantiles() != nil {
+		t.Error("nil histogram should expose nil quantiles")
+	}
+	nilH.Quantiles().Observe(1) // must not panic
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%100) / 100)
+	}
+	p50, _, p99 := h.Quantiles().Values()
+	if math.Abs(p50-0.5) > 0.05 {
+		t.Errorf("histogram p50 = %v, want ~0.5", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}

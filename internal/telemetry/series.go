@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// SeriesID addresses one pre-registered time series. The zero store
+// and the invalid ID (-1, returned by registration on a nil store)
+// both turn Append into a no-op, mirroring the nil-handle contract of
+// the metrics registry.
+type SeriesID int32
+
+// Point is one sample of a series: X is the experiment-time coordinate
+// (round index, step counter, eval sequence — the recorder never
+// interprets it) and Y the measured value.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// DefaultSeriesCapacity bounds a series ring when Register gets 0.
+const DefaultSeriesCapacity = 4096
+
+// seriesBuf is one bounded series: a pre-allocated ring of points
+// where the newest samples win, exactly like the span tracer's ring.
+type seriesBuf struct {
+	name string
+	help string
+	ring []Point
+	len  int    // retained points (≤ cap(ring))
+	n    uint64 // total points ever appended
+}
+
+// SeriesStore is the flight recorder's sample log: a fixed catalogue
+// of bounded float64 series registered at setup time and appended to
+// from the pipeline's record paths. Append takes one mutex and writes
+// one slot — no allocation, no map lookup — so it is safe on
+// //lint:hotpath paths; snapshots and downsampling are read-side and
+// may allocate. A nil store is fully disabled.
+type SeriesStore struct {
+	mu     sync.Mutex
+	series []*seriesBuf
+	byName map[string]SeriesID
+}
+
+// NewSeriesStore returns an empty store.
+func NewSeriesStore() *SeriesStore {
+	return &SeriesStore{byName: make(map[string]SeriesID)}
+}
+
+// Register adds a series and returns its ID. capacity ≤ 0 selects
+// DefaultSeriesCapacity. Registering a duplicate name returns the
+// existing ID (so pipelines can be rebuilt idempotently); a nil store
+// returns the invalid ID.
+func (s *SeriesStore) Register(name, help string, capacity int) SeriesID {
+	if s == nil {
+		return -1
+	}
+	if capacity <= 0 {
+		capacity = DefaultSeriesCapacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.byName[name]; ok {
+		return id
+	}
+	id := SeriesID(len(s.series))
+	s.series = append(s.series, &seriesBuf{name: name, help: help, ring: make([]Point, capacity)})
+	s.byName[name] = id
+	return id
+}
+
+// Append records one sample. Out-of-range IDs (including the invalid
+// ID from a nil-store registration) are dropped silently; the write
+// path never allocates.
+func (s *SeriesStore) Append(id SeriesID, x, y float64) {
+	if s == nil || id < 0 {
+		return
+	}
+	s.mu.Lock()
+	if int(id) >= len(s.series) {
+		s.mu.Unlock()
+		return
+	}
+	b := s.series[id]
+	b.ring[b.n%uint64(len(b.ring))] = Point{X: x, Y: y}
+	if b.len < len(b.ring) {
+		b.len++
+	}
+	b.n++
+	s.mu.Unlock()
+}
+
+// ID resolves a series name (false when absent or the store is nil).
+func (s *SeriesStore) ID(name string) (SeriesID, bool) {
+	if s == nil {
+		return -1, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Names returns the registered series names in sorted order.
+func (s *SeriesStore) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]string, 0, len(s.series))
+	for _, b := range s.series {
+		out = append(out, b.name)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Help returns a series' registered help string.
+func (s *SeriesStore) Help(id SeriesID) string {
+	if s == nil || id < 0 {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.series) {
+		return ""
+	}
+	return s.series[id].help
+}
+
+// Total returns how many points were ever appended to a series,
+// including ones the ring has since overwritten.
+func (s *SeriesStore) Total(id SeriesID) uint64 {
+	if s == nil || id < 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.series) {
+		return 0
+	}
+	return s.series[id].n
+}
+
+// Points copies the retained samples out in append order (oldest to
+// newest). Nil for unknown IDs or a nil store.
+func (s *SeriesStore) Points(id SeriesID) []Point {
+	if s == nil || id < 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.series) {
+		return nil
+	}
+	b := s.series[id]
+	out := make([]Point, 0, b.len)
+	if b.n > uint64(len(b.ring)) {
+		head := int(b.n % uint64(len(b.ring)))
+		out = append(out, b.ring[head:]...)
+		out = append(out, b.ring[:head]...)
+	} else {
+		out = append(out, b.ring[:b.len]...)
+	}
+	return out
+}
+
+// Downsample reduces pts to at most threshold points with
+// largest-triangle-three-buckets (Steinarsson 2013): the first and
+// last points are kept, the interior is bucketed, and each bucket
+// keeps the point forming the largest triangle with the previously
+// selected point and the next bucket's mean — the standard choice for
+// preserving the visual shape of a latency or accuracy curve. A
+// threshold < 3 or ≥ len(pts) returns pts unchanged.
+func Downsample(pts []Point, threshold int) []Point {
+	if threshold >= len(pts) || threshold < 3 {
+		return pts
+	}
+	out := make([]Point, 0, threshold)
+	out = append(out, pts[0])
+	// Bucket the interior points evenly.
+	every := float64(len(pts)-2) / float64(threshold-2)
+	a := 0 // index of the previously selected point
+	for i := 0; i < threshold-2; i++ {
+		lo := int(float64(i)*every) + 1
+		hi := int(float64(i+1)*every) + 1
+		if hi > len(pts)-1 {
+			hi = len(pts) - 1
+		}
+		// Mean of the NEXT bucket is the triangle's third corner.
+		nlo, nhi := hi, int(float64(i+2)*every)+1
+		if nhi > len(pts) {
+			nhi = len(pts)
+		}
+		if nlo >= nhi {
+			nlo, nhi = len(pts)-1, len(pts)
+		}
+		var mx, my float64
+		for _, p := range pts[nlo:nhi] {
+			mx += p.X
+			my += p.Y
+		}
+		mx /= float64(nhi - nlo)
+		my /= float64(nhi - nlo)
+
+		best, bestArea := lo, -1.0
+		for j := lo; j < hi; j++ {
+			// Twice the triangle area; the factor cancels in argmax.
+			area := math.Abs((pts[a].X-mx)*(pts[j].Y-pts[a].Y) -
+				(pts[a].X-pts[j].X)*(my-pts[a].Y))
+			if area > bestArea {
+				bestArea = area
+				best = j
+			}
+		}
+		out = append(out, pts[best])
+		a = best
+	}
+	return append(out, pts[len(pts)-1])
+}

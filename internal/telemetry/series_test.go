@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesStoreBasics(t *testing.T) {
+	s := NewSeriesStore()
+	id := s.Register("acc", "accuracy", 4)
+	if dup := s.Register("acc", "accuracy", 4); dup != id {
+		t.Errorf("duplicate Register = %d, want %d", dup, id)
+	}
+	if got, ok := s.ID("acc"); !ok || got != id {
+		t.Errorf("ID(acc) = %d,%v", got, ok)
+	}
+	if _, ok := s.ID("missing"); ok {
+		t.Error("ID(missing) should be false")
+	}
+	if h := s.Help(id); h != "accuracy" {
+		t.Errorf("Help = %q", h)
+	}
+	for i := 0; i < 3; i++ {
+		s.Append(id, float64(i), float64(10+i))
+	}
+	pts := s.Points(id)
+	if len(pts) != 3 || pts[0] != (Point{0, 10}) || pts[2] != (Point{2, 12}) {
+		t.Errorf("Points = %+v", pts)
+	}
+	if s.Total(id) != 3 {
+		t.Errorf("Total = %d, want 3", s.Total(id))
+	}
+}
+
+func TestSeriesStoreRingWraps(t *testing.T) {
+	s := NewSeriesStore()
+	id := s.Register("wrap", "", 4)
+	for i := 0; i < 10; i++ {
+		s.Append(id, float64(i), float64(i))
+	}
+	if s.Total(id) != 10 {
+		t.Errorf("Total = %d, want 10", s.Total(id))
+	}
+	pts := s.Points(id)
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.X != want {
+			t.Errorf("pts[%d].X = %v, want %v (oldest-to-newest)", i, p.X, want)
+		}
+	}
+}
+
+func TestSeriesStoreNilAndInvalid(t *testing.T) {
+	var s *SeriesStore
+	if id := s.Register("x", "", 0); id != -1 {
+		t.Errorf("nil Register = %d, want -1", id)
+	}
+	s.Append(0, 1, 1) // no-op, no panic
+	if s.Points(0) != nil || s.Total(0) != 0 || s.Names() != nil {
+		t.Error("nil store should report empty state")
+	}
+	live := NewSeriesStore()
+	live.Append(-1, 1, 1)
+	live.Append(99, 1, 1)
+	if len(live.Names()) != 0 {
+		t.Error("invalid appends must not create series")
+	}
+}
+
+func TestSeriesStoreNames(t *testing.T) {
+	s := NewSeriesStore()
+	s.Register("b", "", 0)
+	s.Register("a", "", 0)
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v, want sorted [a b]", names)
+	}
+}
+
+func TestDownsampleLTTB(t *testing.T) {
+	// A spike in a flat line must survive downsampling.
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{X: float64(i), Y: 1}
+	}
+	pts[57].Y = 50
+	out := Downsample(pts, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d, want 10", len(out))
+	}
+	if out[0] != pts[0] || out[len(out)-1] != pts[len(pts)-1] {
+		t.Error("first/last points must be kept")
+	}
+	spike := false
+	lastX := math.Inf(-1)
+	for _, p := range out {
+		if p.Y == 50 {
+			spike = true
+		}
+		if p.X <= lastX {
+			t.Errorf("x not strictly increasing at %v", p.X)
+		}
+		lastX = p.X
+	}
+	if !spike {
+		t.Error("LTTB dropped the spike")
+	}
+}
+
+func TestDownsamplePassthrough(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 2}, {2, 3}}
+	if got := Downsample(pts, 5); len(got) != 3 {
+		t.Errorf("threshold beyond len should pass through, got %d", len(got))
+	}
+	if got := Downsample(pts, 2); len(got) != 3 {
+		t.Errorf("threshold < 3 should pass through, got %d", len(got))
+	}
+	if got := Downsample(nil, 10); got != nil {
+		t.Errorf("nil input should pass through")
+	}
+}

@@ -22,13 +22,21 @@ type Server struct {
 // Serve starts an HTTP server on addr (e.g. ":9090" or "127.0.0.1:0")
 // exposing:
 //
-//	/metrics     Prometheus text exposition of reg
+//	/metrics     Prometheus text exposition of the pipeline's registry
+//	/dashboard   self-contained live HTML+SVG flight-recorder view
+//	/api/series  flight-recorder series as JSON (?n= downsamples)
 //	/debug/vars  expvar (plus a "quickdrop_spans" variable: span counts)
 //	/debug/pprof net/http/pprof profiles
 //
 // It returns once the listener is bound; requests are served on a
-// background goroutine until Close.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+// background goroutine until Close. The pipeline may be nil or
+// partially populated — every handler degrades to an empty view.
+func Serve(addr string, p *Pipeline) (*Server, error) {
+	var reg *Registry
+	var tr *Tracer
+	if p != nil {
+		reg, tr = p.Registry, p.Tracer
+	}
 	publishOnce.Do(func() {
 		expvar.Publish("quickdrop_spans", expvar.Func(func() any {
 			return map[string]any{"retained": tr.Len(), "total": tr.Total()}
@@ -40,6 +48,12 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// A write error means the scraper hung up; nothing to report to.
 		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, _ *http.Request) {
+		writeDashboard(w, p)
+	})
+	mux.HandleFunc("/api/series", func(w http.ResponseWriter, r *http.Request) {
+		writeSeriesJSON(w, r, p)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

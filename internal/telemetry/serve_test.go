@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -8,12 +9,17 @@ import (
 )
 
 func TestServeEndpoints(t *testing.T) {
-	reg := NewRegistry()
-	tr := NewTracer(8)
-	reg.Counter("quickdrop_serve_test_total", "Serve test.").Add(7)
-	tr.Start(SpanPhase, "train", 0, -1, -1).End()
+	p := NewPipeline(NewRegistry(), NewTracer(64), 2)
+	p.Registry.Counter("quickdrop_serve_test_total", "Serve test.").Add(7)
+	p.Tracer.Start(SpanPhase, "train", 0, -1, -1).End()
+	pt := p.StartPhase("train")
+	rs := p.StartRound(0)
+	p.EndClient(p.StartClient(0, 0))
+	p.EndRound(rs, 1)
+	pt.Stop()
+	p.RecordAccuracy(1, 0.5)
 
-	s, err := Serve("127.0.0.1:0", reg, tr)
+	s, err := Serve("127.0.0.1:0", p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +49,54 @@ func TestServeEndpoints(t *testing.T) {
 	if !strings.Contains(metrics, "# TYPE quickdrop_serve_test_total counter") {
 		t.Error("/metrics missing TYPE line")
 	}
+	if !strings.Contains(metrics, `quickdrop_fl_round_seconds{quantile="0.5"}`) {
+		t.Errorf("/metrics missing quantile line:\n%s", metrics)
+	}
+
+	dash := get("/dashboard")
+	for _, want := range []string{"<!DOCTYPE html>", "flight recorder", "<svg", "eval_accuracy"} {
+		if !strings.Contains(dash, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+	if strings.Contains(dash, "src=") || strings.Contains(dash, "href=") {
+		t.Error("/dashboard must be self-contained (no external assets)")
+	}
+
+	var payload struct {
+		Series []seriesJSON `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(get("/api/series")), &payload); err != nil {
+		t.Fatalf("/api/series not JSON: %v", err)
+	}
+	found := false
+	for _, sr := range payload.Series {
+		if sr.Name == "eval_accuracy" {
+			found = true
+			if len(sr.Points) != 1 || sr.Points[0].Y != 0.5 {
+				t.Errorf("eval_accuracy points = %+v", sr.Points)
+			}
+		}
+	}
+	if !found {
+		t.Error("/api/series missing eval_accuracy")
+	}
+
+	var one seriesJSON
+	if err := json.Unmarshal([]byte(get("/api/series?name=fl_round_seconds&n=5")), &one); err != nil {
+		t.Fatalf("/api/series?name= not JSON: %v", err)
+	}
+	if one.Name != "fl_round_seconds" || one.Total != 1 {
+		t.Errorf("single-series payload = %+v", one)
+	}
+	if resp, err := http.Get("http://" + s.Addr() + "/api/series?name=nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown series: status %d, want 404", resp.StatusCode)
+		}
+	}
 
 	vars := get("/debug/vars")
 	if !strings.Contains(vars, "quickdrop_spans") {
@@ -54,8 +108,28 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeNilPipeline proves every handler degrades to an empty view
+// rather than panicking when the pipeline is nil.
+func TestServeNilPipeline(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, path := range []string{"/metrics", "/dashboard", "/api/series"} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with nil pipeline: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
-	if _, err := Serve("256.256.256.256:bad", NewRegistry(), nil); err == nil {
+	if _, err := Serve("256.256.256.256:bad", nil); err == nil {
 		t.Fatal("want error for unparseable address")
 	}
 }

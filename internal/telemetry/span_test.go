@@ -62,6 +62,46 @@ func TestSpanRingWraps(t *testing.T) {
 	}
 }
 
+// TestSpanRingBoundaries pins down the wraparound edge cases around
+// exact capacity: Snapshot ordering and Total vs Len at cap-1, cap,
+// cap+1, and after several full generations of overwrites.
+func TestSpanRingBoundaries(t *testing.T) {
+	fakeClock(t)
+	const capacity = 4
+	cases := []struct {
+		writes    int
+		wantLen   int
+		wantFirst int32 // round of the oldest retained record
+	}{
+		{writes: capacity - 1, wantLen: 3, wantFirst: 0},
+		{writes: capacity, wantLen: 4, wantFirst: 0},
+		{writes: capacity + 1, wantLen: 4, wantFirst: 1},
+		{writes: 3*capacity + 2, wantLen: 4, wantFirst: 10},
+	}
+	for _, tc := range cases {
+		tr := NewTracer(capacity)
+		for i := 0; i < tc.writes; i++ {
+			tr.Start(SpanRound, "round", 0, i, -1).End()
+		}
+		if tr.Len() != tc.wantLen {
+			t.Errorf("%d writes: Len = %d, want %d", tc.writes, tr.Len(), tc.wantLen)
+		}
+		if tr.Total() != uint64(tc.writes) {
+			t.Errorf("%d writes: Total = %d, want %d", tc.writes, tr.Total(), tc.writes)
+		}
+		recs := tr.Snapshot()
+		if len(recs) != tc.wantLen {
+			t.Fatalf("%d writes: Snapshot len = %d, want %d", tc.writes, len(recs), tc.wantLen)
+		}
+		for i, rec := range recs {
+			if want := tc.wantFirst + int32(i); rec.Round != want {
+				t.Errorf("%d writes: recs[%d].Round = %d, want %d (oldest-to-newest order)",
+					tc.writes, i, rec.Round, want)
+			}
+		}
+	}
+}
+
 func TestNilTracerAndZeroSpan(t *testing.T) {
 	calls := 0
 	restore := SetClockForTesting(func() int64 { calls++; return 0 })

@@ -1,15 +1,20 @@
 #!/usr/bin/env sh
 # telemetry_smoke.sh — end-to-end check of the telemetry endpoint: runs
-# a short fedsim training with -telemetry-addr, scrapes /metrics after
-# training finishes (the -telemetry-linger window keeps the endpoint
-# up), and asserts the round/client/distill series are exposed in
-# Prometheus text form. Run standalone or via the CI
-# telemetry-endpoint-smoke job.
+# a short fedsim training with -telemetry-addr, scrapes /metrics,
+# /dashboard and /api/series after training finishes (the
+# -telemetry-linger window keeps the endpoint up), asserts the
+# round/client/distill series are exposed, and exercises the run
+# ledger: fedsim -ledger writes a manifest, `experiments report -diff`
+# accepts it against itself and rejects a synthetic accuracy
+# regression. Run standalone or via the CI telemetry-endpoint-smoke
+# job. RUNS_DIR overrides where the ledger manifest lands (CI points it
+# at the workspace to upload it as an artifact).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 work=$(mktemp -d)
+RUNS_DIR=${RUNS_DIR:-"$work/runs"}
 pid=""
 cleanup() {
 	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
@@ -17,12 +22,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "==> build fedsim"
+echo "==> build fedsim and experiments"
 go build -o "$work/fedsim" ./cmd/fedsim
+go build -o "$work/experiments" ./cmd/experiments
 
 echo "==> run fedsim with an ephemeral telemetry endpoint"
 "$work/fedsim" -dataset mnistlike -clients 2 -rounds 2 -steps 2 -batch 8 \
-	-eval-every 2 -scale quick \
+	-eval-every 2 -scale quick -ledger "$RUNS_DIR" \
 	-telemetry-addr 127.0.0.1:0 -telemetry-linger 60s >"$work/log" 2>&1 &
 pid=$!
 
@@ -72,6 +78,69 @@ if ! grep -q '^quickdrop_fl_rounds_total 2$' "$work/metrics"; then
 	grep '^quickdrop_fl_rounds_total' "$work/metrics" >&2 || true
 	status=1
 fi
+# The P² quantile lines ride alongside the histogram buckets.
+if ! grep -q 'quickdrop_fl_round_seconds{quantile="0.5"}' "$work/metrics"; then
+	echo "missing quantile line for quickdrop_fl_round_seconds" >&2
+	status=1
+fi
 
-[ "$status" -eq 0 ] && echo "telemetry_smoke.sh: all series present"
+echo "==> scrape http://$addr/dashboard"
+curl -fsS "http://$addr/dashboard" >"$work/dashboard"
+for want in '<!DOCTYPE html>' 'flight recorder' '<svg' 'fl_round_seconds'; do
+	if ! grep -qF "$want" "$work/dashboard"; then
+		echo "dashboard missing: $want" >&2
+		status=1
+	fi
+done
+# Self-contained means no external assets of any kind.
+if grep -qE 'src=|href=' "$work/dashboard"; then
+	echo "dashboard references external assets" >&2
+	status=1
+fi
+
+echo "==> scrape http://$addr/api/series"
+curl -fsS "http://$addr/api/series?n=50" >"$work/series.json"
+for want in '"name":"fl_round_seconds"' '"name":"eval_accuracy"' '"points":['; do
+	if ! grep -qF "$want" "$work/series.json"; then
+		echo "/api/series missing: $want" >&2
+		status=1
+	fi
+done
+
+echo "==> check the run-ledger manifest"
+manifest=$(sed -n 's/^ledger: manifest written to \(.*\)$/\1/p' "$work/log" | head -n 1)
+if [ -z "$manifest" ] || [ ! -f "$manifest" ]; then
+	echo "fedsim did not write a ledger manifest (RUNS_DIR=$RUNS_DIR)" >&2
+	status=1
+else
+	for want in '"go_version"' '"eval_accuracy"' '"quickdrop_fl_round_seconds"'; do
+		if ! grep -qF "$want" "$manifest"; then
+			echo "manifest missing: $want" >&2
+			status=1
+		fi
+	done
+
+	echo "==> report -diff: a manifest against itself must pass"
+	if ! "$work/experiments" report -diff "$manifest" "$manifest" >"$work/diff_ok"; then
+		echo "self-diff reported a regression:" >&2
+		cat "$work/diff_ok" >&2
+		status=1
+	fi
+
+	echo "==> report -diff: a synthetic accuracy regression must fail"
+	# Scope the perturbation to the "final" block: the same key also
+	# appears under "series_total", where a float would break parsing.
+	sed '/"final"/,/}/ s/"eval_accuracy": [0-9.eE+-]*/"eval_accuracy": -1.0/' "$manifest" >"$work/regressed.json"
+	if "$work/experiments" report -diff "$manifest" "$work/regressed.json" >"$work/diff_bad" 2>&1; then
+		echo "report -diff accepted a synthetic accuracy regression:" >&2
+		cat "$work/diff_bad" >&2
+		status=1
+	elif ! grep -q 'REGRESSION' "$work/diff_bad"; then
+		echo "report -diff failed without naming the regression:" >&2
+		cat "$work/diff_bad" >&2
+		status=1
+	fi
+fi
+
+[ "$status" -eq 0 ] && echo "telemetry_smoke.sh: all endpoints and the ledger round-trip are healthy"
 exit "$status"
