@@ -19,16 +19,17 @@ check:
 lint:
 	$(GO) run ./cmd/quickdroplint ./...
 
-# Headline benchmarks (gradient-matching step, FedAvg round,
-# unlearn+recover), written to BENCH_<stamp>.json. BENCHTIME=10x for
+# Headline benchmarks (gradient-matching step, FedAvg round, sampled
+# million-client round, unlearn+recover), written to BENCH_<stamp>.json.
+# BENCHTIME=10x for
 # more iterations; the full tensor-kernel suite stays available via
 # `go test -bench . ./internal/tensor/`.
 bench:
 	sh scripts/bench.sh
 
 # Regression gate: runs the headline benchmarks, then diffs the fresh
-# BENCH_*.json against the committed baseline and fails on a >25%
-# regression of the gradient-matching-step metric (bench_compare.sh).
+# BENCH_*.json against the committed baseline and fails when any gated
+# metric regresses past its per-benchmark threshold (bench_compare.sh).
 bench-check:
 	sh scripts/bench.sh
 	sh scripts/bench_compare.sh

@@ -61,7 +61,7 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	matcher := distill.NewMatcher(cfg, []*data.Dataset{client}, rng)
+	matcher := distill.NewMatcher(cfg, data.NewCohort([]*data.Dataset{client}), rng)
 	model := nn.NewConvNet(setup.Arch, rng)
 
 	before := gradientDistance(model, client, matcher.Sets[0], cfg.Eps)

@@ -7,6 +7,15 @@
 //
 //	fedsim -dataset mnistlike -clients 10 -rounds 20 -alpha 0.1
 //
+// Two cohort modes exist. The default materializes every client's shard
+// up front (the original behavior, fine up to thousands of clients).
+// With -lazy the cohort is a recipe: any client's shard is derived on
+// demand from (seed, client ID), so -clients can be a million without
+// allocating a million datasets — pair it with -sample-k so each round
+// draws K participants instead of enumerating the cohort:
+//
+//	fedsim -lazy -clients 1000000 -sample-k 64 -per-client 64 -rounds 5
+//
 // With -telemetry-addr, fedsim serves Prometheus metrics on
 // /metrics, the live flight-recorder dashboard on /dashboard, series
 // JSON on /api/series, expvar on /debug/vars and pprof on /debug/pprof
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"quickdrop/internal/data"
@@ -44,10 +54,15 @@ func main() {
 		batch      = flag.Int("batch", 16, "minibatch size")
 		lr         = flag.Float64("lr", 0.1, "learning rate")
 		partic     = flag.Float64("participation", 1, "client participation fraction per round")
+		sampleK    = flag.Int("sample-k", 0, "sample K clients per round from the registry (0 = use -participation)")
+		workers    = flag.Int("workers", 0, "bounded worker pool size for -concurrent (0 = GOMAXPROCS)")
+		lazy       = flag.Bool("lazy", false, "derive client shards on demand instead of materializing the partition")
+		perClient  = flag.Int("per-client", 64, "samples per client in -lazy mode")
 		scaleName  = flag.String("scale", "quick", "substrate scale preset")
 		seed       = flag.Int64("seed", 1, "random seed")
 		every      = flag.Int("eval-every", 5, "evaluate every N rounds")
-		concurrent = flag.Bool("concurrent", false, "use the goroutine-per-client runtime")
+		concurrent = flag.Bool("concurrent", false, "use the bounded-pool concurrent runtime")
+		memStats   = flag.Bool("memstats", false, "print heap statistics after training (for scale smoke tests)")
 		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /dashboard, /api/series, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after training")
 		ledgerDir  = flag.String("ledger", "", "write a run manifest into this directory (e.g. runs/)")
@@ -59,11 +74,50 @@ func main() {
 		fatal(err)
 	}
 	sc.Seed = *seed
-	setup, err := experiments.NewSetup(*dataset, *clients, *alpha, sc)
-	if err != nil {
-		fatal(err)
+
+	// Assemble the cohort: either the eager slice-backed setup or a lazy
+	// recipe-backed registry that never materializes the full partition.
+	var (
+		reg  fl.ClientRegistry
+		test *data.Dataset
+		arch nn.ConvNetConfig
+		het  string
+	)
+	if *lazy {
+		spec, err := data.SpecByName(*dataset, sc.ImageSize, sc.PerClass)
+		if err != nil {
+			fatal(err)
+		}
+		_, test = data.Generate(spec, *seed)
+		pspec := data.PartitionSpec{
+			Data: spec, Clients: *clients, SamplesPerClient: *perClient,
+			Seed: *seed + 1, Scheme: data.SchemeIID,
+		}
+		if *alpha > 0 {
+			pspec.Scheme, pspec.Alpha = data.SchemeDirichlet, *alpha
+		}
+		lc, err := data.NewLazyCohort(pspec)
+		if err != nil {
+			fatal(err)
+		}
+		reg = lc
+		arch = nn.ConvNetConfig{
+			InputH: spec.H, InputW: spec.W, InputC: spec.C,
+			Classes: spec.Classes, Width: sc.Width, Depth: sc.Depth,
+		}
+		// The heterogeneity statistic enumerates every shard — O(N) work
+		// that would defeat the lazy cohort, so it is not computed here.
+		het = "lazy"
+	} else {
+		setup, err := experiments.NewSetup(*dataset, *clients, *alpha, sc)
+		if err != nil {
+			fatal(err)
+		}
+		reg, test, arch = setup.Cohort, setup.Test, setup.Arch
+		het = fmt.Sprintf("%.3f", data.HeterogeneityStat(setup.Clients))
 	}
-	model := nn.NewConvNet(setup.Arch, rand.New(rand.NewSource(*seed)))
+
+	model := nn.NewConvNet(arch, rand.New(rand.NewSource(*seed)))
 	rng := rand.New(rand.NewSource(*seed + 1))
 
 	var pipe *telemetry.Pipeline
@@ -80,11 +134,15 @@ func main() {
 		fmt.Printf("telemetry: serving on http://%s/metrics (dashboard: /dashboard)\n", srv.Addr())
 	}
 
-	fmt.Printf("fedsim: %s, %d clients, alpha=%.2g, heterogeneity=%.3f, %d params\n",
-		*dataset, *clients, *alpha, data.HeterogeneityStat(setup.Clients), model.NumParams())
+	fmt.Printf("fedsim: %s, %d clients, alpha=%.2g, heterogeneity=%s, %d params\n",
+		*dataset, *clients, *alpha, het, model.NumParams())
 
+	participation := *partic
+	if *sampleK > 0 {
+		participation = 0 // sampled mode replaces the fraction
+	}
 	var counter optim.Counter
-	factory := func() *nn.Model { return nn.NewConvNet(setup.Arch, rand.New(rand.NewSource(*seed))) }
+	factory := func() *nn.Model { return nn.NewConvNet(arch, rand.New(rand.NewSource(*seed))) }
 	start := telemetry.StartTimer()
 	done := 0
 	for done < *rounds {
@@ -94,25 +152,32 @@ func main() {
 		}
 		cfg := fl.PhaseConfig{
 			Rounds: step, LocalSteps: *steps, BatchSize: *batch, LR: *lr,
-			Participation: *partic, Counter: &counter,
-			Telemetry: pipe, Phase: "train",
+			Participation: participation, SampleK: *sampleK, Workers: *workers,
+			Counter: &counter, Telemetry: pipe, Phase: "train",
 		}
 		var err error
 		if *concurrent {
-			_, err = fl.RunPhaseConcurrent(context.Background(), model, factory, setup.Clients, cfg, rng)
+			_, err = fl.RunPhaseConcurrentRegistry(context.Background(), model, factory, reg, cfg, rng)
 		} else {
-			_, err = fl.RunPhase(model, setup.Clients, cfg, rng)
+			_, err = fl.RunPhaseRegistry(model, reg, cfg, rng)
 		}
 		if err != nil {
 			fatal(err)
 		}
 		done += step
-		acc := eval.Accuracy(model, setup.Test)
+		acc := eval.Accuracy(model, test)
 		pipe.RecordAccuracy(float64(done), acc)
 		fmt.Printf("round %3d: test accuracy %.2f%% (%s elapsed, %d grad evals)\n",
 			done, 100*acc, start.Elapsed().Round(time.Millisecond), counter.GradEvals)
 	}
 	pipe.Close()
+	if *memStats {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Printf("memstats: heap_alloc_bytes=%d heap_sys_bytes=%d total_alloc_bytes=%d\n",
+			ms.HeapAlloc, ms.HeapSys, ms.TotalAlloc)
+	}
 	if *ledgerDir != "" {
 		m := telemetry.BuildManifest(pipe, "fedsim", *seed, map[string]string{
 			"dataset": *dataset,

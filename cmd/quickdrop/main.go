@@ -67,7 +67,7 @@ func main() {
 		}
 	}
 
-	sys, err := core.NewSystem(cfg, setup.Clients)
+	sys, err := core.NewSystem(cfg, setup.Cohort)
 	if err != nil {
 		fatal(err)
 	}

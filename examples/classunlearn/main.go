@@ -35,7 +35,7 @@ func main() {
 	arch := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 3, Classes: 10, Width: 8, Depth: 2}
 	cfg := core.DefaultConfig(arch)
 	cfg.Train.Rounds = 18
-	sys, err := core.NewSystem(cfg, clients)
+	sys, err := core.NewSystem(cfg, data.NewCohort(clients))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 	// QuickDrop pipeline.
 	cfg := core.DefaultConfig(arch)
 	cfg.Train.Rounds = 18
-	sys, err := core.NewSystem(cfg, clients)
+	sys, err := core.NewSystem(cfg, data.NewCohort(clients))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 	bCfg := baselines.DefaultConfig(arch)
 	bCfg.Train.Rounds = 18
 	bCfg.RetrainRounds = 18
-	oracle, err := baselines.NewRetrainOr(bCfg, clients)
+	oracle, err := baselines.NewRetrainOr(bCfg, data.NewCohort(clients))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func main() {
 	cfg := core.DefaultConfig(arch)
 	cfg.Distill.Scale = 4
 	cfg.Distill.Groups = 3 // sub-class subsets → sample-level granularity
-	sys, err := core.NewSystem(cfg, clients)
+	sys, err := core.NewSystem(cfg, data.NewCohort(clients))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 
 	// Audit: the erased records should no longer look like training
 	// members, while the client's retained records should.
-	clientData := sys.Clients[target]
+	clientData := sys.Clients.Shard(target)
 	forgotten := clientData.Subset(sortedKeys(removed))
 	retained := clientData.WithoutIndices(removed)
 	attack, err := mia.TrainThreshold(sys.Model, retained, test)
@@ -71,7 +71,7 @@ func main() {
 	if err := sys.SaveState(&state); err != nil {
 		log.Fatal(err)
 	}
-	restored, err := core.NewSystem(cfg, clients)
+	restored, err := core.NewSystem(cfg, data.NewCohort(clients))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,10 +108,10 @@ func DefaultConfig(arch nn.ConvNetConfig) Config {
 }
 
 // base carries the state shared by every baseline: the global model, the
-// clients' original datasets, and the forget tracker.
+// clients' registry of original datasets, and the forget tracker.
 type base struct {
 	cfg      Config
-	clients  []*data.Dataset
+	clients  fl.ClientRegistry
 	model    *nn.Model
 	rng      *rand.Rand
 	forget   *core.Tracker
@@ -119,11 +119,11 @@ type base struct {
 	prepared bool
 }
 
-func newBase(cfg Config, clients []*data.Dataset) (*base, error) {
+func newBase(cfg Config, clients fl.ClientRegistry) (*base, error) {
 	if err := cfg.Arch.Validate(); err != nil {
 		return nil, err
 	}
-	if len(clients) == 0 {
+	if clients == nil || clients.NumClients() == 0 {
 		return nil, fmt.Errorf("baselines: no clients")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -137,6 +137,13 @@ func newBase(cfg Config, clients []*data.Dataset) (*base, error) {
 }
 
 func (b *base) Model() *nn.Model { return b.model }
+
+// numClients and shard are the registry access shorthands every method
+// shares. The per-request forget/retain shards these methods derive stay
+// []*data.Dataset: they are request-scale by construction (one class or
+// one client's worth of data), not cohort-scale.
+func (b *base) numClients() int           { return b.clients.NumClients() }
+func (b *base) shard(i int) *data.Dataset { return b.clients.Shard(i) }
 
 // phaseConfig converts core.PhaseParams into an fl.PhaseConfig named
 // phase for telemetry.
@@ -164,7 +171,7 @@ func (b *base) trainInitial(extra func(*fl.PhaseConfig)) error {
 	if extra != nil {
 		extra(&cfg)
 	}
-	if _, err := fl.RunPhase(b.model, b.clients, cfg, b.rng); err != nil {
+	if _, err := fl.RunPhaseRegistry(b.model, b.clients, cfg, b.rng); err != nil {
 		return err
 	}
 	b.prepared = true
@@ -174,14 +181,15 @@ func (b *base) trainInitial(extra func(*fl.PhaseConfig)) error {
 // forgetShards returns per-client original-data shards covered by the
 // request: D_ic for class-level, D_i for client-level.
 func (b *base) forgetShards(req core.Request) ([]*data.Dataset, error) {
-	shards := make([]*data.Dataset, len(b.clients))
+	shards := make([]*data.Dataset, b.numClients())
 	total := 0
 	switch req.Kind {
 	case core.ClassLevel:
 		if req.Class < 0 || req.Class >= b.model.Classes {
 			return nil, fmt.Errorf("baselines: class %d out of range", req.Class)
 		}
-		for i, c := range b.clients {
+		for i := range shards {
+			c := b.shard(i)
 			if c == nil || b.forget.ClientRemoved(i) {
 				continue
 			}
@@ -189,16 +197,16 @@ func (b *base) forgetShards(req core.Request) ([]*data.Dataset, error) {
 			total += shards[i].Len()
 		}
 	case core.ClientLevel:
-		if req.Client < 0 || req.Client >= len(b.clients) {
+		if req.Client < 0 || req.Client >= b.numClients() {
 			return nil, fmt.Errorf("baselines: client %d out of range", req.Client)
 		}
-		shards[req.Client] = b.activeSubset(req.Client, b.clients[req.Client])
+		shards[req.Client] = b.activeSubset(req.Client, b.shard(req.Client))
 		total += shards[req.Client].Len()
 	case core.SampleLevel:
-		if req.Client < 0 || req.Client >= len(b.clients) {
+		if req.Client < 0 || req.Client >= b.numClients() {
 			return nil, fmt.Errorf("baselines: client %d out of range", req.Client)
 		}
-		client := b.clients[req.Client]
+		client := b.shard(req.Client)
 		removed := b.forget.RemovedSamples(req.Client)
 		var idx []int
 		for _, s := range req.Samples {
@@ -239,8 +247,9 @@ func (b *base) activeSubset(client int, ds *data.Dataset) *data.Dataset {
 // retainShards returns the per-client retain data D\D_f under the current
 // forget state.
 func (b *base) retainShards() []*data.Dataset {
-	shards := make([]*data.Dataset, len(b.clients))
-	for i, c := range b.clients {
+	shards := make([]*data.Dataset, b.numClients())
+	for i := range shards {
+		c := b.shard(i)
 		if c == nil || b.forget.ClientRemoved(i) {
 			continue
 		}

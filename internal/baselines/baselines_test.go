@@ -14,12 +14,12 @@ func testArch() nn.ConvNetConfig {
 	return nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2}
 }
 
-func testClients(t *testing.T, n, perClass int, seed int64) ([]*data.Dataset, *data.Dataset) {
+func testClients(t *testing.T, n, perClass int, seed int64) (*data.Cohort, *data.Dataset) {
 	t.Helper()
 	spec := data.MNISTLike(8, perClass)
 	train, test := data.Generate(spec, seed)
 	parts := data.PartitionIID(train, n, rand.New(rand.NewSource(seed+50)))
-	return parts, test
+	return data.NewCohort(parts), test
 }
 
 func testConfig() Config {

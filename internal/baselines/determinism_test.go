@@ -4,12 +4,12 @@ import (
 	"testing"
 
 	"quickdrop/internal/core"
-	"quickdrop/internal/data"
+	"quickdrop/internal/fl"
 	"quickdrop/internal/telemetry"
 )
 
 // newMethod constructs one baseline by name from fresh config and data.
-func newMethod(t *testing.T, name string, cfg Config, clients []*data.Dataset) Method {
+func newMethod(t *testing.T, name string, cfg Config, clients fl.ClientRegistry) Method {
 	t.Helper()
 	var m Method
 	var err error

@@ -26,21 +26,57 @@ type FedEraser struct {
 	CalibrationSteps int
 	// Interval keeps every Interval-th round's updates (≥1).
 	Interval int
+	// SnapshotBudget caps how many float64 parameters the update history
+	// may retain (0 means DefaultSnapshotBudget). FedEraser's storage grows
+	// as clients × rounds × model size, so at registry scale (millions of
+	// clients) Prepare refuses up front rather than exhausting memory.
+	SnapshotBudget int
 
 	initParams []*tensor.Tensor
 	// history[k] maps clientID → that client's recorded update Δ in round k.
 	history []map[int][]*tensor.Tensor
 	// StoredFloats counts the retained parameters (storage cost).
 	StoredFloats int
+	// overBudget marks that recording stopped mid-training because the
+	// budget ran out; replay would be incomplete, so Unlearn refuses.
+	overBudget bool
 }
 
+// DefaultSnapshotBudget is the default cap on recorded history:
+// 64M float64 parameters (512 MiB). Generous for the paper's cohort
+// sizes, far below what a million-client registry would demand.
+const DefaultSnapshotBudget = 64 << 20
+
 // NewFedEraser constructs the baseline.
-func NewFedEraser(cfg Config, clients []*data.Dataset) (*FedEraser, error) {
+func NewFedEraser(cfg Config, clients fl.ClientRegistry) (*FedEraser, error) {
 	b, err := newBase(cfg, clients)
 	if err != nil {
 		return nil, err
 	}
 	return &FedEraser{base: b, CalibrationSteps: 1, Interval: 1}, nil
+}
+
+// snapshotBudget resolves the configured cap.
+func (f *FedEraser) snapshotBudget() int {
+	if f.SnapshotBudget > 0 {
+		return f.SnapshotBudget
+	}
+	return DefaultSnapshotBudget
+}
+
+// estimateStoredFloats predicts the history size Prepare would record:
+// participants per recorded round × recorded rounds × model parameters.
+func (f *FedEraser) estimateStoredFloats() int {
+	params := 0
+	for _, p := range f.model.ParamTensors() {
+		params += p.Len()
+	}
+	perRound := f.numClients()
+	if frac := f.cfg.Train.Participation; frac > 0 && frac < 1 {
+		perRound = int(float64(perRound)*frac) + 1
+	}
+	recordedRounds := (f.cfg.Train.Rounds + f.Interval - 1) / f.Interval
+	return perRound * recordedRounds * params
 }
 
 // Name implements Method.
@@ -59,10 +95,26 @@ func (f *FedEraser) Prepare() error {
 	if f.Interval < 1 || f.CalibrationSteps < 1 {
 		return fmt.Errorf("baselines: invalid FedEraser settings interval=%d calSteps=%d", f.Interval, f.CalibrationSteps)
 	}
+	if est, budget := f.estimateStoredFloats(), f.snapshotBudget(); est > budget {
+		return fmt.Errorf("baselines: FedEraser would record ~%d floats of update history "+
+			"(%d clients × %d rounds / interval %d) but SnapshotBudget is %d; "+
+			"raise the budget, increase Interval, or use a storage-efficient method at this scale",
+			est, f.numClients(), f.cfg.Train.Rounds, f.Interval, budget)
+	}
 	f.initParams = f.model.CloneParams()
 	return f.trainInitial(func(cfg *fl.PhaseConfig) {
 		cfg.UpdateHook = func(round, clientID int, before, after []*tensor.Tensor) {
-			if round%f.Interval != 0 {
+			if round%f.Interval != 0 || f.overBudget {
+				return
+			}
+			size := 0
+			for i := range after {
+				size += after[i].Len()
+			}
+			if f.StoredFloats+size > f.snapshotBudget() {
+				// The pre-flight estimate undershot (e.g. participation
+				// rounding); stop recording and let Unlearn report it.
+				f.overBudget = true
 				return
 			}
 			k := round / f.Interval
@@ -84,6 +136,10 @@ func (f *FedEraser) Prepare() error {
 func (f *FedEraser) Unlearn(req core.Request) (Result, error) {
 	if err := f.checkUnlearn(req, f.Capabilities()); err != nil {
 		return Result{}, err
+	}
+	if f.overBudget {
+		return Result{}, fmt.Errorf("baselines: FedEraser history is incomplete — "+
+			"recording stopped at the %d-float SnapshotBudget, so calibrated replay would be wrong", f.snapshotBudget())
 	}
 	if _, err := f.forgetShards(req); err != nil {
 		return Result{}, err

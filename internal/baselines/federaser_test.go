@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+)
+
+// TestFedEraserSnapshotBudgetRefusesUpFront: at registry scale the
+// pre-flight estimate must fail Prepare with an actionable error before
+// any training (or history allocation) happens.
+func TestFedEraserSnapshotBudgetRefusesUpFront(t *testing.T) {
+	big, err := data.NewLazyCohort(data.PartitionSpec{
+		Data: data.MNISTLike(8, 4), Clients: 1_000_000, SamplesPerClient: 8,
+		Seed: 3, Scheme: data.SchemeIID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFedEraser(testConfig(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.Prepare()
+	if err == nil {
+		t.Fatal("Prepare must refuse a million-client history under the default budget")
+	}
+	for _, want := range []string{"SnapshotBudget", "1000000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("budget error %q should mention %q", err, want)
+		}
+	}
+	if f.StoredFloats != 0 || len(f.history) != 0 {
+		t.Fatal("refused Prepare must not have recorded history")
+	}
+}
+
+// TestFedEraserSnapshotBudgetConfigurable: a budget covering the
+// estimate admits Prepare; one float short of the need refuses it.
+func TestFedEraserSnapshotBudgetConfigurable(t *testing.T) {
+	clients, _ := testClients(t, 3, 6, 13)
+	cfg := testConfig()
+	cfg.Train.Rounds = 2
+
+	f, _ := NewFedEraser(cfg, clients)
+	need := f.estimateStoredFloats()
+	f.SnapshotBudget = need - 1
+	if err := f.Prepare(); err == nil {
+		t.Fatal("budget below the estimate must refuse Prepare")
+	}
+
+	g, _ := NewFedEraser(cfg, clients)
+	g.SnapshotBudget = need
+	if err := g.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if g.StoredFloats != need {
+		t.Fatalf("StoredFloats = %d, want the estimate %d (full participation is exact)", g.StoredFloats, need)
+	}
+}
+
+// TestFedEraserOverBudgetMidTrainingFailsUnlearn: if the runtime guard
+// trips (estimate undershot), Unlearn must refuse rather than replay an
+// incomplete history.
+func TestFedEraserOverBudgetMidTrainingFailsUnlearn(t *testing.T) {
+	clients, _ := testClients(t, 2, 6, 14)
+	cfg := testConfig()
+	cfg.Train.Rounds = 2
+	f, _ := NewFedEraser(cfg, clients)
+	// Bypass the pre-flight check to exercise the runtime guard: a
+	// budget that admits the first round's updates but not the second's.
+	f.SnapshotBudget = f.estimateStoredFloats()
+	if err := f.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	f.overBudget = true // simulate the guard having tripped mid-training
+	_, err := f.Unlearn(core.Request{Kind: core.ClassLevel, Class: 1})
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("over-budget unlearn error = %v, want incomplete-history refusal", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"quickdrop/internal/core"
 	"quickdrop/internal/data"
 	"quickdrop/internal/eval"
+	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 )
@@ -28,7 +29,7 @@ type FUMP struct {
 }
 
 // NewFUMP constructs the baseline.
-func NewFUMP(cfg Config, clients []*data.Dataset) (*FUMP, error) {
+func NewFUMP(cfg Config, clients fl.ClientRegistry) (*FUMP, error) {
 	b, err := newBase(cfg, clients)
 	if err != nil {
 		return nil, err
@@ -111,8 +112,8 @@ func (f *FUMP) pruneClassChannels(target int) (int, error) {
 		mean[c] = make([]float64, filters)
 		// Pool per-class samples across clients.
 		var parts []*data.Dataset
-		for _, cl := range f.clients {
-			if cl != nil {
+		for i := 0; i < f.numClients(); i++ {
+			if cl := f.shard(i); cl != nil {
 				parts = append(parts, cl.OfClass(c))
 			}
 		}

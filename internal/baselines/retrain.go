@@ -2,7 +2,7 @@ package baselines
 
 import (
 	"quickdrop/internal/core"
-	"quickdrop/internal/data"
+	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 	"quickdrop/internal/telemetry"
@@ -16,7 +16,7 @@ type RetrainOr struct {
 }
 
 // NewRetrainOr constructs the oracle.
-func NewRetrainOr(cfg Config, clients []*data.Dataset) (*RetrainOr, error) {
+func NewRetrainOr(cfg Config, clients fl.ClientRegistry) (*RetrainOr, error) {
 	b, err := newBase(cfg, clients)
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ type S2U struct {
 }
 
 // NewS2U constructs the baseline.
-func NewS2U(cfg Config, clients []*data.Dataset) (*S2U, error) {
+func NewS2U(cfg Config, clients fl.ClientRegistry) (*S2U, error) {
 	b, err := newBase(cfg, clients)
 	if err != nil {
 		return nil, err
@@ -57,15 +57,16 @@ func (s *S2U) Unlearn(req core.Request) (Result, error) {
 		return Result{}, fmt.Errorf("baselines: invalid S2U settings %+v", s)
 	}
 	target := req.Client
-	if target < 0 || target >= len(s.clients) || s.clients[target] == nil || s.clients[target].Len() == 0 {
+	if target < 0 || target >= s.numClients() || s.clients.ShardLen(target) == 0 {
 		return Result{}, fmt.Errorf("baselines: client %d has no data", target)
 	}
 
 	// All clients (including the target) participate; aggregation weights
 	// do the forgetting.
-	shards := make([]*data.Dataset, len(s.clients))
+	shards := make([]*data.Dataset, s.numClients())
 	samples := 0
-	for i, c := range s.clients {
+	for i := range shards {
+		c := s.shard(i)
 		if c == nil || s.forget.ClientRemoved(i) {
 			continue
 		}

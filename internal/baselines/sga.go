@@ -2,7 +2,7 @@ package baselines
 
 import (
 	"quickdrop/internal/core"
-	"quickdrop/internal/data"
+	"quickdrop/internal/fl"
 	"quickdrop/internal/optim"
 )
 
@@ -16,7 +16,7 @@ type SGAOr struct {
 }
 
 // NewSGAOr constructs the baseline.
-func NewSGAOr(cfg Config, clients []*data.Dataset) (*SGAOr, error) {
+func NewSGAOr(cfg Config, clients fl.ClientRegistry) (*SGAOr, error) {
 	b, err := newBase(cfg, clients)
 	if err != nil {
 		return nil, err

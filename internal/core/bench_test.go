@@ -21,7 +21,7 @@ func BenchmarkUnlearnRecover(b *testing.B) {
 	cfg.Seed = 7
 	cfg.Train.Rounds = 4
 	cfg.Distill.Scale = 3
-	sys, err := NewSystem(cfg, parts)
+	sys, err := NewSystem(cfg, data.NewCohort(parts))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func BenchmarkUnlearnRecover(b *testing.B) {
 		// LoadState restores only into a fresh system, so each iteration
 		// rebuilds one off the clock.
 		b.StopTimer()
-		replay, err := NewSystem(cfg, parts)
+		replay, err := NewSystem(cfg, data.NewCohort(parts))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -153,11 +153,12 @@ type Report struct {
 }
 
 // System is a QuickDrop deployment: a global model, the clients' original
-// datasets, and — after Train — their synthetic counterparts.
+// datasets behind a registry, and — after Train — their synthetic
+// counterparts.
 type System struct {
 	Cfg     Config
 	Model   *nn.Model
-	Clients []*data.Dataset
+	Clients fl.ClientRegistry
 	// Matcher owns the per-client synthetic sets after Train.
 	Matcher *distill.Matcher
 	// TrainResult records the cost of initial training.
@@ -177,19 +178,19 @@ type System struct {
 }
 
 // NewSystem validates the configuration and assembles a system.
-func NewSystem(cfg Config, clients []*data.Dataset) (*System, error) {
+func NewSystem(cfg Config, clients fl.ClientRegistry) (*System, error) {
 	if err := cfg.Arch.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Distill.Validate(); err != nil {
 		return nil, err
 	}
-	if len(clients) == 0 {
+	if clients == nil || clients.NumClients() == 0 {
 		return nil, fmt.Errorf("core: no clients")
 	}
 	nonEmpty := 0
-	for _, c := range clients {
-		if c != nil && c.Len() > 0 {
+	for i := 0; i < clients.NumClients(); i++ {
+		if clients.ShardLen(i) > 0 {
 			nonEmpty++
 		}
 	}
@@ -219,7 +220,7 @@ func (s *System) Train() (fl.PhaseResult, error) {
 	if s.Cfg.DistillDistance != nil {
 		s.Matcher.Distance = s.Cfg.DistillDistance
 	}
-	res, err := fl.RunPhase(s.Model, s.Clients, fl.PhaseConfig{
+	res, err := fl.RunPhaseRegistry(s.Model, s.Clients, fl.PhaseConfig{
 		Rounds:        s.Cfg.Train.Rounds,
 		LocalSteps:    s.Cfg.Train.LocalSteps,
 		BatchSize:     s.Cfg.Train.BatchSize,
@@ -252,7 +253,7 @@ func (s *System) fineTuneAll() error {
 		ft.Match = s.Cfg.Distill
 	}
 	for id, syn := range s.Matcher.Sets {
-		counter, err := distill.FineTune(syn, s.Clients[id], ft, s.rng)
+		counter, err := distill.FineTune(syn, s.Clients.Shard(id), ft, s.rng)
 		if err != nil {
 			return fmt.Errorf("core: fine-tune client %d: %w", id, err)
 		}
@@ -273,21 +274,21 @@ func (s *System) Synthetic(i int) *data.Dataset {
 // forgetShards returns, per client, the synthetic data covered by the
 // request: S_ic for class-level, S_i for client-level (paper §3.1).
 func (s *System) forgetShards(req Request) ([]*data.Dataset, error) {
-	shards := make([]*data.Dataset, len(s.Clients))
+	shards := make([]*data.Dataset, s.Clients.NumClients())
 	total := 0
 	switch req.Kind {
 	case ClassLevel:
 		if req.Class < 0 || req.Class >= s.Model.Classes {
 			return nil, fmt.Errorf("core: class %d out of range", req.Class)
 		}
-		for i := range s.Clients {
+		for i := range shards {
 			if syn := s.Synthetic(i); syn != nil && !s.forget.ClientRemoved(i) {
 				shards[i] = syn.OfClass(req.Class)
 				total += shards[i].Len()
 			}
 		}
 	case ClientLevel:
-		if req.Client < 0 || req.Client >= len(s.Clients) {
+		if req.Client < 0 || req.Client >= s.Clients.NumClients() {
 			return nil, fmt.Errorf("core: client %d out of range", req.Client)
 		}
 		if syn := s.Synthetic(req.Client); syn != nil {
@@ -345,7 +346,7 @@ func (s *System) activeSubset(client int, syn *data.Dataset) *data.Dataset {
 // subset granularity, unlearning expands to every sample of the covered
 // groups; the expanded sample list is returned for forget-state tracking.
 func (s *System) resolveSampleGroups(req Request) ([]distill.GroupKey, []int, error) {
-	if req.Client < 0 || req.Client >= len(s.Clients) {
+	if req.Client < 0 || req.Client >= s.Clients.NumClients() {
 		return nil, nil, fmt.Errorf("core: client %d out of range", req.Client)
 	}
 	if len(req.Samples) == 0 {
@@ -355,7 +356,7 @@ func (s *System) resolveSampleGroups(req Request) ([]distill.GroupKey, []int, er
 	if grouping == nil {
 		return nil, nil, fmt.Errorf("core: client %d has no synthetic data", req.Client)
 	}
-	client := s.Clients[req.Client]
+	client := s.Clients.Shard(req.Client)
 	seen := make(map[distill.GroupKey]bool)
 	var groups []distill.GroupKey
 	for _, sample := range req.Samples {
@@ -438,8 +439,8 @@ func (s *System) resolveSampleGroupsForMark(req Request, removed bool) ([]distil
 // minus all currently-forgotten knowledge, augmented 1:1 with original
 // samples when configured (§3.3.1).
 func (s *System) retainShards() []*data.Dataset {
-	shards := make([]*data.Dataset, len(s.Clients))
-	for i := range s.Clients {
+	shards := make([]*data.Dataset, s.Clients.NumClients())
+	for i := range shards {
 		if s.forget.ClientRemoved(i) {
 			continue
 		}
@@ -455,7 +456,7 @@ func (s *System) retainShards() []*data.Dataset {
 			// Original samples of removed data must not leak back in.
 			// Sample exclusion must come first: the tracker's indices
 			// refer to the client's original dataset ordering.
-			original := s.Clients[i].WithoutIndices(s.forget.RemovedSamples(i))
+			original := s.Clients.Shard(i).WithoutIndices(s.forget.RemovedSamples(i))
 			for _, c := range s.forget.RemovedClasses() {
 				original = original.WithoutClass(c)
 			}

@@ -13,12 +13,12 @@ func testArch() nn.ConvNetConfig {
 	return nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 8, Depth: 2}
 }
 
-func testClients(t *testing.T, n int, perClass int, seed int64) ([]*data.Dataset, *data.Dataset) {
+func testClients(t *testing.T, n int, perClass int, seed int64) (*data.Cohort, *data.Dataset) {
 	t.Helper()
 	spec := data.MNISTLike(8, perClass)
 	train, test := data.Generate(spec, seed)
 	parts := data.PartitionIID(train, n, rand.New(rand.NewSource(seed+100)))
-	return parts, test
+	return data.NewCohort(parts), test
 }
 
 func trainedSystem(t *testing.T, seed int64) (*System, *data.Dataset) {
@@ -42,7 +42,7 @@ func TestNewSystemValidation(t *testing.T) {
 	if _, err := NewSystem(cfg, nil); err == nil {
 		t.Fatal("expected error for no clients")
 	}
-	if _, err := NewSystem(cfg, []*data.Dataset{data.NewDataset(8, 8, 1, 10)}); err == nil {
+	if _, err := NewSystem(cfg, data.NewCohort([]*data.Dataset{data.NewDataset(8, 8, 1, 10)})); err == nil {
 		t.Fatal("expected error for all-empty clients")
 	}
 	bad := cfg
@@ -103,7 +103,7 @@ func TestClassUnlearnRecoverRelearn(t *testing.T) {
 		t.Fatalf("data sizes missing: %+v", rep)
 	}
 	// Synthetic volume must be far below the original (the whole point).
-	if rep.Unlearn.DataSize >= sys.Clients[0].Len()*len(sys.Clients)/2 {
+	if rep.Unlearn.DataSize >= sys.Clients.Shard(0).Len()*sys.Clients.NumClients()/2 {
 		t.Fatalf("unlearning touched %d samples — not compressed", rep.Unlearn.DataSize)
 	}
 
@@ -130,7 +130,7 @@ func TestClientUnlearn(t *testing.T) {
 	}
 	// With IID data the retained knowledge covers the departed client
 	// (paper Table 4, IID column): R-Set accuracy must stay reasonable.
-	_, r := eval.SubsetSplit(sys.Model, sys.Clients[target], test)
+	_, r := eval.SubsetSplit(sys.Model, sys.Clients.Shard(target), test)
 	if r < 0.4 {
 		t.Fatalf("R-Set accuracy %.2f after client unlearning", r)
 	}
@@ -199,7 +199,8 @@ func TestUnlearnErrors(t *testing.T) {
 
 func TestSyntheticSizesFollowScale(t *testing.T) {
 	sys, _ := trainedSystem(t, 8)
-	for i, c := range sys.Clients {
+	for i := 0; i < sys.Clients.NumClients(); i++ {
+		c := sys.Clients.Shard(i)
 		syn := sys.Synthetic(i)
 		if syn == nil {
 			t.Fatalf("client %d has no synthetic set", i)

@@ -134,7 +134,7 @@ func TestSampleLevelRecoveryExcludesForgottenGroups(t *testing.T) {
 func TestSampleLevelMIAMemberRateDrops(t *testing.T) {
 	sys, test := sampleSystem(t, 25)
 	client := 0
-	clientData := sys.Clients[client]
+	clientData := sys.Clients.Shard(client)
 	// Forget half the client's samples.
 	var samples []int
 	for i := 0; i < clientData.Len()/2; i++ {

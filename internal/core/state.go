@@ -40,8 +40,8 @@ func (s *System) SaveState(w io.Writer) error {
 	if _, err := s.Model.WriteTo(w); err != nil {
 		return err
 	}
-	wr.u32(uint32(len(s.Clients)))
-	for i := range s.Clients {
+	wr.u32(uint32(s.Clients.NumClients()))
+	for i := 0; i < s.Clients.NumClients(); i++ {
 		syn := s.Synthetic(i)
 		if syn == nil {
 			wr.u8(0)
@@ -56,18 +56,18 @@ func (s *System) SaveState(w io.Writer) error {
 	// Forget ledger.
 	wr.ints(s.forget.RemovedClasses())
 	var removedClients []int
-	for i := range s.Clients {
+	for i := 0; i < s.Clients.NumClients(); i++ {
 		if s.forget.ClientRemoved(i) {
 			removedClients = append(removedClients, i)
 		}
 	}
 	wr.ints(removedClients)
-	wr.u32(uint32(len(s.Clients)))
-	for i := range s.Clients {
+	wr.u32(uint32(s.Clients.NumClients()))
+	for i := 0; i < s.Clients.NumClients(); i++ {
 		wr.ints(sortedIntSet(s.forget.RemovedSamples(i)))
 	}
-	wr.u32(uint32(len(s.Clients)))
-	for i := range s.Clients {
+	wr.u32(uint32(s.Clients.NumClients()))
+	for i := 0; i < s.Clients.NumClients(); i++ {
 		keys := make([]distill.GroupKey, 0, len(s.removedGroups[i]))
 		for k := range s.removedGroups[i] {
 			keys = append(keys, k)
@@ -108,8 +108,8 @@ func (s *System) LoadState(r io.Reader) error {
 	if rd.err != nil {
 		return rd.err
 	}
-	if n != len(s.Clients) {
-		return fmt.Errorf("core: state has %d clients, system has %d", n, len(s.Clients))
+	if n != s.Clients.NumClients() {
+		return fmt.Errorf("core: state has %d clients, system has %d", n, s.Clients.NumClients())
 	}
 	s.Matcher = &distill.Matcher{
 		Cfg:       s.Cfg.Distill,
@@ -145,7 +145,7 @@ func (s *System) LoadState(r io.Reader) error {
 	for _, c := range rd.intsList() {
 		s.forget.Mark(Request{Kind: ClientLevel, Client: c}, true)
 	}
-	if cn := int(rd.u32()); rd.err == nil && cn == len(s.Clients) {
+	if cn := int(rd.u32()); rd.err == nil && cn == s.Clients.NumClients() {
 		for i := 0; i < cn; i++ {
 			if samples := rd.intsList(); len(samples) > 0 {
 				s.forget.Mark(Request{Kind: SampleLevel, Client: i, Samples: samples}, true)
@@ -154,7 +154,7 @@ func (s *System) LoadState(r io.Reader) error {
 	} else if rd.err == nil {
 		return fmt.Errorf("core: sample ledger client count mismatch")
 	}
-	if cn := int(rd.u32()); rd.err == nil && cn == len(s.Clients) {
+	if cn := int(rd.u32()); rd.err == nil && cn == s.Clients.NumClients() {
 		for i := 0; i < cn; i++ {
 			k := int(rd.u32())
 			for j := 0; j < k && rd.err == nil; j++ {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"quickdrop/internal/data"
 	"quickdrop/internal/eval"
 )
 
@@ -33,7 +34,7 @@ func TestStateRoundTripPreservesModelAndSynthetic(t *testing.T) {
 		t.Fatalf("restored accuracy %.3f vs %.3f", acc, accBefore)
 	}
 	// Synthetic sets identical.
-	for i := range sys.Clients {
+	for i := 0; i < sys.Clients.NumClients(); i++ {
 		a, b := sys.Synthetic(i), restored.Synthetic(i)
 		if (a == nil) != (b == nil) {
 			t.Fatalf("client %d synthetic presence mismatch", i)
@@ -135,7 +136,7 @@ func TestLoadStateErrors(t *testing.T) {
 	if err := sys2.SaveState(&buf2); err != nil {
 		t.Fatal(err)
 	}
-	smaller, err := NewSystem(sys.Cfg, sys.Clients[:2])
+	smaller, err := NewSystem(sys.Cfg, data.NewCohort([]*data.Dataset{sys.Clients.Shard(0), sys.Clients.Shard(1)}))
 	if err != nil {
 		t.Fatal(err)
 	}

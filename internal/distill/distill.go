@@ -156,19 +156,29 @@ type Matcher struct {
 	Telemetry *telemetry.Pipeline
 }
 
-// NewMatcher initializes synthetic sets for every client.
-func NewMatcher(cfg Config, clients []*data.Dataset, rng *rand.Rand) *Matcher {
+// NewMatcher initializes synthetic sets for every client in the registry.
+// Shards are materialized one at a time in ascending client-ID order (the
+// order fixes the RNG stream), so peak memory stays one shard, not the
+// cohort.
+func NewMatcher(cfg Config, clients fl.ClientRegistry, rng *rand.Rand) *Matcher {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
+	n := 0
+	if clients != nil {
+		n = clients.NumClients()
+	}
 	m := &Matcher{
 		Cfg:       cfg,
-		Sets:      make(map[int]*data.Dataset, len(clients)),
-		Groupings: make(map[int]*Grouping, len(clients)),
+		Sets:      make(map[int]*data.Dataset, n),
+		Groupings: make(map[int]*Grouping, n),
 		Distance:  MatchDistance,
 	}
-	for i, c := range clients {
-		if c != nil && c.Len() > 0 {
+	for i := 0; i < n; i++ {
+		if clients.ShardLen(i) == 0 {
+			continue
+		}
+		if c := clients.Shard(i); c != nil && c.Len() > 0 {
 			syn, grouping := buildGrouping(c, cfg, cfg.groupCount(), rng)
 			m.Sets[i] = syn
 			m.Groupings[i] = grouping
@@ -333,16 +343,19 @@ func flatten2D(v *ad.Value) *ad.Value {
 }
 
 // StorageOverhead returns the synthetic-to-original volume ratio across
-// all clients (paper: ≈ 1/s).
-func (m *Matcher) StorageOverhead(clients []*data.Dataset) float64 {
+// all clients (paper: ≈ 1/s). Only ShardLen is consulted, so this is
+// cheap even for lazy registries.
+func (m *Matcher) StorageOverhead(clients fl.ClientRegistry) float64 {
 	synTotal, realTotal := 0, 0
-	for i, c := range clients {
+	n := 0
+	if clients != nil {
+		n = clients.NumClients()
+	}
+	for i := 0; i < n; i++ {
 		if s, ok := m.Sets[i]; ok {
 			synTotal += s.Len()
 		}
-		if c != nil {
-			realTotal += c.Len()
-		}
+		realTotal += clients.ShardLen(i)
 	}
 	if realTotal == 0 {
 		return 0

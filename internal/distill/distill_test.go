@@ -178,7 +178,7 @@ func TestMatchStepReducesDistance(t *testing.T) {
 	cfg.LR = 0.5
 	cfg.Steps = 1
 	rng := rand.New(rand.NewSource(11))
-	matcher := NewMatcher(cfg, []*data.Dataset{client}, rng)
+	matcher := NewMatcher(cfg, data.NewCohort([]*data.Dataset{client}), rng)
 	arch := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 4, Depth: 1}
 	model := nn.NewConvNet(arch, rng)
 
@@ -230,7 +230,7 @@ func classGrads(model *nn.Model, ds *data.Dataset) []*ad.Value {
 func TestMatcherSkipsEmptyClients(t *testing.T) {
 	client := clientSet(t, 2, 12)
 	rng := rand.New(rand.NewSource(13))
-	matcher := NewMatcher(DefaultConfig(), []*data.Dataset{client, nil, data.NewDataset(8, 8, 1, 10)}, rng)
+	matcher := NewMatcher(DefaultConfig(), data.NewCohort([]*data.Dataset{client, nil, data.NewDataset(8, 8, 1, 10)}), rng)
 	if len(matcher.Sets) != 1 {
 		t.Fatalf("expected 1 synthetic set, got %d", len(matcher.Sets))
 	}
@@ -242,9 +242,9 @@ func TestStorageOverhead(t *testing.T) {
 	client := clientSet(t, 20, 14) // 200 samples
 	cfg := DefaultConfig()
 	cfg.Scale = 10
-	matcher := NewMatcher(cfg, []*data.Dataset{client}, rand.New(rand.NewSource(15)))
+	matcher := NewMatcher(cfg, data.NewCohort([]*data.Dataset{client}), rand.New(rand.NewSource(15)))
 	// 2 synthetic per class × 10 classes = 20 → overhead 0.1.
-	got := matcher.StorageOverhead([]*data.Dataset{client})
+	got := matcher.StorageOverhead(data.NewCohort([]*data.Dataset{client}))
 	if math.Abs(got-0.1) > 1e-9 {
 		t.Fatalf("storage overhead = %g, want 0.1", got)
 	}
@@ -333,7 +333,7 @@ func TestDistributionMatchingReducesEmbeddingDistance(t *testing.T) {
 	cfg.LR = 0.05
 	cfg.Objective = DistributionMatching
 	rng := rand.New(rand.NewSource(61))
-	matcher := NewMatcher(cfg, []*data.Dataset{client}, rng)
+	matcher := NewMatcher(cfg, data.NewCohort([]*data.Dataset{client}), rng)
 	arch := nn.ConvNetConfig{InputH: 8, InputW: 8, InputC: 1, Classes: 10, Width: 4, Depth: 1}
 	model := nn.NewConvNet(arch, rng)
 

@@ -119,7 +119,7 @@ func TestMatcherWithGroupsStillReducesDistance(t *testing.T) {
 	cfg.LR = 0.5
 	cfg.Groups = 2
 	rng := rand.New(rand.NewSource(37))
-	matcher := NewMatcher(cfg, []*data.Dataset{client}, rng)
+	matcher := NewMatcher(cfg, data.NewCohort([]*data.Dataset{client}), rng)
 	if matcher.Groupings[0] == nil {
 		t.Fatal("grouping missing")
 	}

@@ -33,7 +33,7 @@ func runAblation(sc Scale, variants []string, apply func(variant string, cfg *co
 			}
 			cfg := setup.CoreConfig()
 			apply(v, &cfg)
-			sys, err := core.NewSystem(cfg, setup.Clients)
+			sys, err := core.NewSystem(cfg, setup.Cohort)
 			if err != nil {
 				return nil, err
 			}

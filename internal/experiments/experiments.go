@@ -90,9 +90,13 @@ func ScaleByName(name string) (Scale, error) {
 type Setup struct {
 	Dataset string
 	Clients []*data.Dataset
-	Test    *data.Dataset
-	Arch    nn.ConvNetConfig
-	Scale   Scale
+	// Cohort wraps Clients behind the registry interface the FL stack and
+	// all method constructors consume. It shares the same shard pointers,
+	// so behavior is identical to passing the slice directly.
+	Cohort *data.Cohort
+	Test   *data.Dataset
+	Arch   nn.ConvNetConfig
+	Scale  Scale
 	// Alpha records the Dirichlet concentration (0 = IID).
 	Alpha float64
 }
@@ -119,7 +123,10 @@ func NewSetup(dataset string, nClients int, alpha float64, sc Scale) (*Setup, er
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
-	return &Setup{Dataset: dataset, Clients: parts, Test: test, Arch: arch, Scale: sc, Alpha: alpha}, nil
+	return &Setup{
+		Dataset: dataset, Clients: parts, Cohort: data.NewCohort(parts),
+		Test: test, Arch: arch, Scale: sc, Alpha: alpha,
+	}, nil
 }
 
 // CoreConfig builds the QuickDrop configuration for this setup. The paper
@@ -168,7 +175,7 @@ func (s *Setup) NewMethod(name string) (baselines.Method, error) {
 
 // NewQuickDrop constructs (but does not train) the QuickDrop system.
 func (s *Setup) NewQuickDrop() (*core.System, error) {
-	return core.NewSystem(s.CoreConfig(), s.Clients)
+	return core.NewSystem(s.CoreConfig(), s.Cohort)
 }
 
 // ForgetOriginal returns the original-data forget set for a request,

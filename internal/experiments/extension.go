@@ -68,7 +68,7 @@ func ExtensionSampleLevel(sc Scale) ([]ExtensionSampleRow, error) {
 		if name == "QuickDrop" {
 			cfg := setup.CoreConfig()
 			cfg.Distill.Groups = 4
-			sys, err := core.NewSystem(cfg, setup.Clients)
+			sys, err := core.NewSystem(cfg, setup.Cohort)
 			if err != nil {
 				return nil, err
 			}

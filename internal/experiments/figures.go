@@ -35,7 +35,7 @@ func Figure2(sc Scale) (*Figure2Result, error) {
 	}
 	cfg := setup.CoreConfig()
 	cfg.Recover.Rounds = 0 // recovery is driven round-by-round below
-	sys, err := core.NewSystem(cfg, setup.Clients)
+	sys, err := core.NewSystem(cfg, setup.Cohort)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +310,7 @@ func Figure6(sc Scale, scales []float64) ([]Figure6Row, error) {
 		}
 		cfg := setup.CoreConfig()
 		cfg.Distill.Scale = s
-		sys, err := core.NewSystem(cfg, setup.Clients)
+		sys, err := core.NewSystem(cfg, setup.Cohort)
 		if err != nil {
 			return nil, err
 		}

@@ -107,7 +107,7 @@ func runQuickDrop(setup *Setup, opts MethodRunOpts) (MethodRow, error) {
 	cfg := setup.CoreConfig()
 	cfg.Train.Participation = opts.Participation
 	cfg.Recover.Participation = opts.Participation
-	sys, err := core.NewSystem(cfg, setup.Clients)
+	sys, err := core.NewSystem(cfg, setup.Cohort)
 	if err != nil {
 		return row, err
 	}
@@ -187,15 +187,15 @@ func runBaseline(setup *Setup, name string, opts MethodRunOpts) (MethodRow, erro
 func newMethod(name string, cfg baselines.Config, setup *Setup) (baselines.Method, error) {
 	switch name {
 	case "Retrain-Or":
-		return baselines.NewRetrainOr(cfg, setup.Clients)
+		return baselines.NewRetrainOr(cfg, setup.Cohort)
 	case "SGA-Or":
-		return baselines.NewSGAOr(cfg, setup.Clients)
+		return baselines.NewSGAOr(cfg, setup.Cohort)
 	case "FedEraser":
-		return baselines.NewFedEraser(cfg, setup.Clients)
+		return baselines.NewFedEraser(cfg, setup.Cohort)
 	case "FU-MP":
-		return baselines.NewFUMP(cfg, setup.Clients)
+		return baselines.NewFUMP(cfg, setup.Cohort)
 	case "S2U":
-		return baselines.NewS2U(cfg, setup.Clients)
+		return baselines.NewS2U(cfg, setup.Cohort)
 	default:
 		return nil, fmt.Errorf("experiments: unknown method %q", name)
 	}

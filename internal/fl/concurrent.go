@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"quickdrop/internal/data"
@@ -12,12 +13,22 @@ import (
 )
 
 // ModelFactory builds a fresh model with the training architecture.
-// Concurrent clients each own a private instance; parameters are
-// exchanged by value, as in a real deployment.
+// Pool workers each own a private instance; parameters are exchanged by
+// value, as in a real deployment.
 type ModelFactory func() *nn.Model
 
-// clientUpdate is the message a client sends back to the server after
-// finishing its local steps for a round.
+// clientTask is the server's order to a pool worker: run one client's
+// local steps for one round. global is a shared read-only snapshot
+// (SetParams copies out of it); rng is the client's private stream.
+type clientTask struct {
+	round    int
+	clientID int
+	rng      *rand.Rand
+	global   []*tensor.Tensor
+}
+
+// clientUpdate is the message a worker sends back to the server after
+// finishing a client's local steps.
 type clientUpdate struct {
 	clientID int
 	round    int
@@ -27,146 +38,205 @@ type clientUpdate struct {
 	err      error
 }
 
-// roundOrder is the broadcast from server to a client worker.
-type roundOrder struct {
-	round  int
-	global []*tensor.Tensor
-}
-
-// RunPhaseConcurrent executes the same FedAvg phase as RunPhase but with
-// one goroutine per client exchanging messages with the server over
-// channels — the shape of a real parameter-server deployment. Updates are
-// aggregated in client-ID order, so with full participation and no hook
-// the result is bit-for-bit identical to the sequential RunPhase.
-//
-// cfg.Hook and cfg.UpdateHook must be nil or safe for concurrent use;
-// cfg.WeightFn and cfg.DropoutProb are honoured. ctx cancels mid-phase.
+// RunPhaseConcurrent executes the same FedAvg phase as RunPhase with a
+// bounded worker pool — the slice-shaped convenience wrapper over
+// RunPhaseConcurrentRegistry.
 func RunPhaseConcurrent(ctx context.Context, model *nn.Model, factory ModelFactory,
 	clients []*data.Dataset, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
+	return RunPhaseConcurrentRegistry(ctx, model, factory, data.NewCohort(clients), cfg, rng)
+}
+
+// RunPhaseConcurrentRegistry executes a FedAvg phase over a client
+// registry with cfg.Workers pool workers (GOMAXPROCS when 0), each
+// owning one private model reused across every client it serves — so
+// concurrent memory is O(workers · model), not O(clients · model) as
+// with the previous goroutine-per-client runner. Updates are folded
+// into a streaming aggregator in ascending client-ID order regardless
+// of arrival order, so the result is bit-for-bit identical to the
+// sequential runner under the same config (with full participation in
+// legacy mode, and unconditionally in sampled mode) and independent of
+// the pool size.
+//
+// cfg.Hook and cfg.UpdateHook must be nil or safe for concurrent use
+// (UpdateHook itself is invoked serially on the server, in fold order);
+// cfg.WeightFn and cfg.DropoutProb are honoured. ctx cancels mid-phase.
+// The registry's Shard must be safe for concurrent calls with distinct
+// IDs, which both data.Cohort and data.LazyCohort are.
+func RunPhaseConcurrentRegistry(ctx context.Context, model *nn.Model, factory ModelFactory,
+	reg ClientRegistry, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return PhaseResult{}, err
 	}
 	if factory == nil {
 		return PhaseResult{}, fmt.Errorf("fl: RunPhaseConcurrent needs a model factory")
 	}
-	eligible := make([]int, 0, len(clients))
-	for i, c := range clients {
-		if c != nil && c.Len() > 0 {
-			eligible = append(eligible, i)
-		}
+	if reg == nil || reg.NumClients() == 0 {
+		return PhaseResult{}, errNoData()
 	}
-	if len(eligible) == 0 {
-		return PhaseResult{}, fmt.Errorf("fl: no client has data for this phase")
+	sampled := cfg.SampleK > 0
+	var eligible []int
+	if !sampled {
+		eligible = make([]int, 0, reg.NumClients())
+		for i := 0; i < reg.NumClients(); i++ {
+			if reg.ShardLen(i) > 0 {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) == 0 {
+			return PhaseResult{}, errNoData()
+		}
 	}
 
 	res := PhaseResult{Rounds: cfg.Rounds}
 	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
 
-	// Mirror RunPhase's RNG layout exactly so trajectories coincide.
-	clientRngs := make([]*rand.Rand, len(clients))
-	for i := range clients {
-		clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	// Mirror the sequential runners' RNG layout exactly so trajectories
+	// coincide: legacy mode pre-seeds one stream per registered client,
+	// sampled mode derives streams from one phase seed.
+	var clientRngs []*rand.Rand
+	var phaseSeed int64
+	if sampled {
+		phaseSeed = rng.Int63()
+	} else {
+		clientRngs = make([]*rand.Rand, reg.NumClients())
+		for i := range clientRngs {
+			clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
+		}
 	}
 
-	// One long-lived worker per client: local model owned by the
-	// goroutine, orders in, updates out. Channels are buffered size 1
-	// (one outstanding round per client).
-	orders := make([]chan roundOrder, len(clients))
-	updates := make(chan clientUpdate, len(clients))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := make(chan clientTask)
+	updates := make(chan clientUpdate, workers)
 	workerCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	for _, ci := range eligible {
-		orders[ci] = make(chan roundOrder, 1)
-		go clientWorker(workerCtx, ci, factory, clients[ci], cfg, clientRngs[ci], orders[ci], updates)
+	for w := 0; w < workers; w++ {
+		go poolWorker(workerCtx, factory, reg, cfg, tasks, updates)
 	}
 
+	// One reusable global snapshot: workers only read it (SetParams
+	// copies), and the server rewrites it only between rounds, when no
+	// task is in flight.
+	global := model.CloneParams()
+	agg := NewStreamAggregator(global)
 	for round := 0; round < cfg.Rounds; round++ {
-		selected := selectClients(eligible, cfg.Participation, rng)
+		var selected []int
+		if sampled {
+			selected = sampleClientIDs(reg, cfg.SampleK, rng)
+			if len(selected) == 0 {
+				return res, errNoData()
+			}
+		} else {
+			selected = selectClients(eligible, cfg.Participation, rng)
+		}
 		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
 		rs := cfg.Telemetry.StartRound(round)
-		global := model.CloneParams()
-		for _, ci := range selected {
-			select {
-			case orders[ci] <- roundOrder{round: round, global: cloneAll(global)}:
-			case <-ctx.Done():
-				return res, ctx.Err()
-			}
+		for i, p := range model.ParamTensors() {
+			global[i].CopyFrom(p)
 		}
+		agg.Reset()
 
-		received := make([]clientUpdate, 0, len(selected))
-		for range selected {
+		// Fold frontier: ascending client IDs, whatever order tasks are
+		// dispatched or completed in. Legacy partial participation
+		// dispatches in selection order but folds sorted, exactly like
+		// the previous runner's sort-then-aggregate.
+		order := selected
+		if !sort.IntsAreSorted(order) {
+			order = append([]int(nil), selected...)
+			sort.Ints(order)
+		}
+		pending := make(map[int]clientUpdate, workers)
+		sent, next := 0, 0
+		for next < len(order) {
+			var sendCh chan clientTask
+			var task clientTask
+			if sent < len(selected) {
+				ci := selected[sent]
+				task = clientTask{round: round, clientID: ci, global: global}
+				if sampled {
+					task.rng = rand.New(rand.NewSource(data.DeriveSeed(phaseSeed, int64(round), int64(ci))))
+				} else {
+					task.rng = clientRngs[ci]
+				}
+				sendCh = tasks // nil channel (no task left) disables this case
+			}
 			select {
+			case sendCh <- task:
+				sent++
 			case u := <-updates:
 				if u.err != nil {
 					return res, fmt.Errorf("fl: client %d round %d: %w", u.clientID, u.round, u.err)
 				}
-				received = append(received, u)
+				pending[u.clientID] = u
+				for next < len(order) {
+					ready, ok := pending[order[next]]
+					if !ok {
+						break
+					}
+					delete(pending, order[next])
+					next++
+					if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
+						res.Dropped++
+						cfg.Telemetry.DropUpdate()
+						continue
+					}
+					if cfg.UpdateHook != nil {
+						cfg.UpdateHook(ready.round, ready.clientID, cloneAll(global), cloneAll(ready.params))
+					}
+					w := ready.weight
+					if cfg.WeightFn != nil {
+						w = cfg.WeightFn(ready.clientID, ready.samples)
+					}
+					if w <= 0 {
+						continue
+					}
+					res.SamplesUsed += ready.samples
+					agg.Fold(ready.params, w)
+				}
 			case <-ctx.Done():
 				return res, ctx.Err()
 			}
 		}
-		// Deterministic aggregation order regardless of arrival order.
-		sort.Slice(received, func(a, b int) bool { return received[a].clientID < received[b].clientID })
-
-		agg := zerosLike(global)
-		totalWeight := 0.0
-		for _, u := range received {
-			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
-				res.Dropped++
-				cfg.Telemetry.DropUpdate()
-				continue
-			}
-			w := u.weight
-			if cfg.WeightFn != nil {
-				w = cfg.WeightFn(u.clientID, u.samples)
-			}
-			if w <= 0 {
-				continue
-			}
-			totalWeight += w
-			res.SamplesUsed += u.samples
-			for j := range agg {
-				agg[j].AxpyInPlace(w, u.params[j])
-			}
-		}
-		if totalWeight == 0 {
+		if agg.TotalWeight() == 0 {
 			if cfg.DropoutProb > 0 {
 				cfg.Telemetry.EndRound(rs, len(selected))
 				continue
 			}
 			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
 		}
-		for _, t := range agg {
-			t.ScaleInPlace(1 / totalWeight)
-		}
-		model.SetParams(agg)
+		model.SetParams(agg.Finish())
 		cfg.Telemetry.EndRound(rs, len(selected))
 	}
 	res.WallTime = pt.Stop()
 	return res, nil
 }
 
-// clientWorker owns one client's private model and serves round orders
-// until the context is cancelled.
-func clientWorker(ctx context.Context, clientID int, factory ModelFactory, ds *data.Dataset,
-	cfg PhaseConfig, rng *rand.Rand, orders <-chan roundOrder, updates chan<- clientUpdate) {
+// poolWorker serves client tasks until the phase ends. It owns one
+// private model for its whole lifetime; shards are materialized from
+// the registry per task and released after the update ships.
+func poolWorker(ctx context.Context, factory ModelFactory, reg ClientRegistry, cfg PhaseConfig,
+	tasks <-chan clientTask, updates chan<- clientUpdate) {
 	local := factory()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case order := <-orders:
-			u := clientUpdate{clientID: clientID, round: order.round,
-				weight: float64(ds.Len()), samples: ds.Len()}
+		case t := <-tasks:
+			u := clientUpdate{clientID: t.clientID, round: t.round}
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
 						u.err = fmt.Errorf("client panic: %v", r)
 					}
 				}()
-				local.SetParams(order.global)
-				cs := cfg.Telemetry.StartClient(order.round, clientID)
-				runLocalSteps(local, ds, cfg, order.round, clientID, rng)
+				shard := reg.Shard(t.clientID)
+				u.weight = float64(shard.Len())
+				u.samples = shard.Len()
+				local.SetParams(t.global)
+				cs := cfg.Telemetry.StartClient(t.round, t.clientID)
+				runLocalSteps(local, shard, cfg, t.round, t.clientID, t.rng)
 				cfg.Telemetry.EndClient(cs)
 				u.params = local.CloneParams()
 			}()

@@ -51,6 +51,20 @@ type PhaseConfig struct {
 	// Participation is the fraction of eligible clients sampled per round;
 	// 0 or 1 means full participation.
 	Participation float64
+	// SampleK, when positive, switches the phase into sampled mode: each
+	// round draws K distinct eligible clients from the registry by
+	// rejection sampling — without enumerating or allocating anything
+	// proportional to the registered cohort — and per-client RNG streams
+	// are derived from (phase seed, round, client ID) instead of being
+	// pre-seeded per client. Sampled mode is the only way to run
+	// registry-scale cohorts (millions of clients); it is mutually
+	// exclusive with Participation. SampleK of 0 keeps the legacy
+	// participation-fraction semantics bit for bit.
+	SampleK int
+	// Workers bounds the concurrent runner's worker pool; 0 selects
+	// GOMAXPROCS. The pool size never affects numerics: aggregation
+	// folds in ascending client-ID order regardless of arrival order.
+	Workers int
 	// Hook, if set, runs after every local step.
 	Hook LocalStepHook
 	// UpdateHook, if set, receives each participating client's model
@@ -96,6 +110,16 @@ func (c PhaseConfig) Validate() error {
 	if c.DropoutProb < 0 || c.DropoutProb >= 1 {
 		return fmt.Errorf("fl: dropout probability %v out of [0,1)", c.DropoutProb)
 	}
+	if c.SampleK < 0 {
+		return fmt.Errorf("fl: sample-k %d must be non-negative", c.SampleK)
+	}
+	if c.SampleK > 0 && c.Participation > 0 && c.Participation < 1 {
+		return fmt.Errorf("fl: SampleK and Participation are mutually exclusive (got K=%d, fraction=%v)",
+			c.SampleK, c.Participation)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fl: workers %d must be non-negative", c.Workers)
+	}
 	return nil
 }
 
@@ -113,18 +137,40 @@ type PhaseResult struct {
 // model in place. Clients with empty datasets are skipped (paper, Alg. 1:
 // only clients with non-empty shards participate). The aggregation is the
 // |Z_i|/|Z| weighted average over the round's participants.
+//
+// This is the slice-shaped convenience entry point: it wraps the slice
+// in a data.Cohort and runs RunPhaseRegistry, which preserves the
+// historical behaviour bit for bit.
 func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
+	return RunPhaseRegistry(model, data.NewCohort(clients), cfg, rng)
+}
+
+// RunPhaseRegistry executes FedAvg over a client registry, mutating
+// model in place. With cfg.SampleK == 0 it replicates the historical
+// slice-based RunPhase exactly — same RNG consumption, same fold order,
+// same floats — over whatever the registry materializes. With SampleK >
+// 0 it runs in sampled mode: per-round participant sets are drawn from
+// the registry without enumerating the cohort, per-client RNG streams
+// are derived from (phase seed, round, client ID), and per-round cost
+// is O(K·shard + model) regardless of NumClients.
+func RunPhaseRegistry(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return PhaseResult{}, err
 	}
-	eligible := make([]int, 0, len(clients))
-	for i, c := range clients {
-		if c != nil && c.Len() > 0 {
+	if reg == nil || reg.NumClients() == 0 {
+		return PhaseResult{}, errNoData()
+	}
+	if cfg.SampleK > 0 {
+		return runSampledPhase(model, reg, cfg, rng)
+	}
+	eligible := make([]int, 0, reg.NumClients())
+	for i := 0; i < reg.NumClients(); i++ {
+		if reg.ShardLen(i) > 0 {
 			eligible = append(eligible, i)
 		}
 	}
 	if len(eligible) == 0 {
-		return PhaseResult{}, fmt.Errorf("fl: no client has data for this phase")
+		return PhaseResult{}, errNoData()
 	}
 
 	res := PhaseResult{Rounds: cfg.Rounds}
@@ -133,16 +179,19 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 	// reading flows only into PhaseResult/eval.Cost — never the numerics.
 	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
 	// Per-client RNG streams keep client behaviour independent of the
-	// participation schedule.
-	clientRngs := make([]*rand.Rand, len(clients))
-	for i := range clients {
+	// participation schedule. Legacy mode seeds one stream per
+	// registered client — O(N), acceptable for the slice-scale cohorts
+	// this mode exists for — because that is exactly what the historical
+	// runner consumed from rng.
+	clientRngs := make([]*rand.Rand, reg.NumClients())
+	for i := range clientRngs {
 		clientRngs[i] = rand.New(rand.NewSource(rng.Int63()))
 	}
 
 	// Snapshot and aggregation buffers are allocated once and reused
 	// across rounds: parameter shapes never change mid-phase.
 	global := model.CloneParams()
-	agg := zerosLike(global)
+	agg := NewStreamAggregator(global)
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := selectClients(eligible, cfg.Participation, rng)
 		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
@@ -151,14 +200,14 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 		for i, p := range model.ParamTensors() {
 			global[i].CopyFrom(p)
 		}
-		for _, t := range agg {
-			t.Zero()
-		}
-		totalWeight := 0.0
+		agg.Reset()
 		for _, ci := range selected {
+			// Materialize once per selection: a lazy registry re-renders
+			// the shard on every Shard call.
+			shard := reg.Shard(ci)
 			model.SetParams(global)
 			cs := cfg.Telemetry.StartClient(round, ci)
-			runLocalSteps(model, clients[ci], cfg, round, ci, clientRngs[ci])
+			runLocalSteps(model, shard, cfg, round, ci, clientRngs[ci])
 			cfg.Telemetry.EndClient(cs)
 			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
 				res.Dropped++
@@ -168,20 +217,17 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 			if cfg.UpdateHook != nil {
 				cfg.UpdateHook(round, ci, cloneAll(global), model.CloneParams())
 			}
-			w := float64(clients[ci].Len())
+			w := float64(shard.Len())
 			if cfg.WeightFn != nil {
-				w = cfg.WeightFn(ci, clients[ci].Len())
+				w = cfg.WeightFn(ci, shard.Len())
 			}
 			if w <= 0 {
 				continue
 			}
-			totalWeight += w
-			res.SamplesUsed += clients[ci].Len()
-			for j, p := range model.ParamTensors() {
-				agg[j].AxpyInPlace(w, p)
-			}
+			res.SamplesUsed += shard.Len()
+			agg.Fold(model.ParamTensors(), w)
 		}
-		if totalWeight == 0 {
+		if agg.TotalWeight() == 0 {
 			if cfg.DropoutProb > 0 {
 				// Every participant failed this round; the server keeps
 				// the previous global model and proceeds.
@@ -191,10 +237,76 @@ func RunPhase(model *nn.Model, clients []*data.Dataset, cfg PhaseConfig, rng *ra
 			}
 			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
 		}
-		for _, t := range agg {
-			t.ScaleInPlace(1 / totalWeight)
+		model.SetParams(agg.Finish())
+		cfg.Telemetry.EndRound(rs, len(selected))
+	}
+	res.WallTime = pt.Stop()
+	return res, nil
+}
+
+// runSampledPhase is the SampleK > 0 runner: no eligibility scan, no
+// per-client RNG array, no per-round allocation proportional to the
+// cohort. Per-client streams are derived as DeriveSeed(phaseSeed,
+// round, clientID) so a client's local noise depends on its identity
+// and the round, never on which other clients were sampled — the
+// property that lets the concurrent runner reproduce this trajectory
+// bit for bit from any worker schedule.
+func runSampledPhase(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
+	res := PhaseResult{Rounds: cfg.Rounds}
+	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
+	phaseSeed := rng.Int63()
+
+	global := model.CloneParams()
+	agg := NewStreamAggregator(global)
+	for round := 0; round < cfg.Rounds; round++ {
+		// Ascending client-ID order: local steps, dropout draws and
+		// aggregation folds all walk this order, which pins the server
+		// RNG stream and the float fold order for both runners.
+		selected := sampleClientIDs(reg, cfg.SampleK, rng)
+		if len(selected) == 0 {
+			return res, errNoData()
 		}
-		model.SetParams(agg)
+		res.ClientsPerRnd = append(res.ClientsPerRnd, len(selected))
+		rs := cfg.Telemetry.StartRound(round)
+
+		for i, p := range model.ParamTensors() {
+			global[i].CopyFrom(p)
+		}
+		agg.Reset()
+		for _, ci := range selected {
+			shard := reg.Shard(ci)
+			crng := rand.New(rand.NewSource(data.DeriveSeed(phaseSeed, int64(round), int64(ci))))
+			model.SetParams(global)
+			cs := cfg.Telemetry.StartClient(round, ci)
+			runLocalSteps(model, shard, cfg, round, ci, crng)
+			cfg.Telemetry.EndClient(cs)
+			if cfg.DropoutProb > 0 && rng.Float64() < cfg.DropoutProb {
+				res.Dropped++
+				cfg.Telemetry.DropUpdate()
+				continue
+			}
+			if cfg.UpdateHook != nil {
+				cfg.UpdateHook(round, ci, cloneAll(global), model.CloneParams())
+			}
+			w := float64(shard.Len())
+			if cfg.WeightFn != nil {
+				w = cfg.WeightFn(ci, shard.Len())
+			}
+			if w <= 0 {
+				continue
+			}
+			res.SamplesUsed += shard.Len()
+			agg.Fold(model.ParamTensors(), w)
+		}
+		if agg.TotalWeight() == 0 {
+			if cfg.DropoutProb > 0 {
+				model.SetParams(global)
+				cfg.Telemetry.EndRound(rs, len(selected))
+				continue
+			}
+			return res, fmt.Errorf("fl: round %d aggregated zero weight", round)
+		}
+		model.SetParams(agg.Finish())
 		cfg.Telemetry.EndRound(rs, len(selected))
 	}
 	res.WallTime = pt.Stop()

@@ -1,0 +1,106 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"quickdrop/internal/data"
+)
+
+// ClientRegistry is the cohort abstraction every FedAvg phase runs over.
+// It replaces the eagerly materialized []*data.Dataset: the registry
+// knows how many clients exist and how large each shard is without
+// holding any shard resident, and materializes a shard only when a
+// round actually selects that client.
+//
+// Contract:
+//   - NumClients and ShardLen are cheap (O(1)) and allocation-free;
+//     runners call them inside per-round sampling loops.
+//   - ShardLen(id) == Shard(id).Len() for every valid id, and is 0 for
+//     out-of-range IDs and clients with no data (who are ineligible).
+//   - Shard(id) is deterministic: repeated calls return identical data
+//     regardless of call order or what other shards were materialized.
+//     Implementations may return a shared object (data.Cohort) or a
+//     fresh one per call (data.LazyCohort); callers must not mutate it.
+//
+// data.Cohort adapts legacy slices; data.LazyCohort derives shards from
+// a seed+id recipe so a million-client cohort costs O(1) memory.
+type ClientRegistry interface {
+	NumClients() int
+	ShardLen(id int) int
+	Shard(id int) *data.Dataset
+}
+
+var (
+	_ ClientRegistry = (*data.Cohort)(nil)
+	_ ClientRegistry = (*data.LazyCohort)(nil)
+)
+
+// errNoData is the shared "nothing to train on" failure, kept identical
+// to the pre-registry message so callers matching on it keep working.
+func errNoData() error { return fmt.Errorf("fl: no client has data for this phase") }
+
+// sampleClientIDs draws up to k distinct eligible client IDs from the
+// registry and returns them in ascending order. The fast path is
+// rejection sampling — O(k) draws and O(k) memory, never touching the
+// other N-k clients — which is why per-round cost is independent of the
+// registered cohort size. If the cohort is so sparse that rejection
+// stalls (bounded attempts), it falls back to a reservoir sample over
+// one ascending scan of the eligible set: O(N) time but still O(k)
+// memory, and still a deterministic function of the rng stream.
+//
+// Fewer than k eligible clients returns them all; an empty eligible set
+// returns nil.
+func sampleClientIDs(reg ClientRegistry, k int, rng *rand.Rand) []int {
+	n := reg.NumClients()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, 0, n)
+		for id := 0; id < n; id++ {
+			if reg.ShardLen(id) > 0 {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, k)
+	picked := make(map[int]struct{}, k)
+	// With eligible density d, one acceptance costs ~1/d draws; the
+	// bound covers d ≥ ~1/16 with a large constant margin before the
+	// scan fallback engages.
+	limit := 32*k + 256
+	for attempts := 0; attempts < limit && len(out) < k; attempts++ {
+		id := rng.Intn(n)
+		if _, dup := picked[id]; dup {
+			continue
+		}
+		if reg.ShardLen(id) <= 0 {
+			continue
+		}
+		picked[id] = struct{}{}
+		out = append(out, id)
+	}
+	if len(out) < k {
+		// Sparse cohort: uniform k-of-eligible via reservoir sampling.
+		out = out[:0]
+		seen := 0
+		for id := 0; id < n; id++ {
+			if reg.ShardLen(id) <= 0 {
+				continue
+			}
+			seen++
+			if len(out) < k {
+				out = append(out, id)
+				continue
+			}
+			if j := rng.Intn(seen); j < k {
+				out[j] = id
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

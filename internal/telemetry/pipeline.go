@@ -2,9 +2,148 @@ package telemetry
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// MaxClientSeries bounds how many fl_client_<i>_seconds series a
+// pipeline keeps. Cohorts up to this size get one eagerly registered
+// series per client (the original behavior); larger cohorts share a
+// bounded slot table so telemetry memory stays O(MaxClientSeries) no
+// matter how many clients are registered.
+const MaxClientSeries = 64
+
+// StragglerTopK is how many slots of the bounded table are shielded
+// from eviction because they hold the largest per-round durations seen
+// so far. Stragglers are exactly the clients worth keeping series for,
+// and they are also the ones a recency-only policy would evict first
+// (a slow client reports rarely).
+const StragglerTopK = 8
+
+// clientSlots maps an unbounded client-ID space onto MaxClientSeries
+// series. Slots are claimed on first observation; once full, a new
+// client evicts deterministically: among the slots NOT protected by
+// StragglerTopK (largest max duration, slot index breaking ties), the
+// victim is the slot with the smallest last-observed round, then the
+// smaller max duration, then the larger owner ID.
+type clientSlots struct {
+	mu    sync.Mutex
+	store *SeriesStore
+	ids   []SeriesID // slot → series ID (-1 until claimed)
+	owner []int      // slot → client ID owning the slot
+	last  []float64  // slot → most recent x (round) observed
+	maxY  []float64  // slot → largest duration observed
+	slots map[int]int
+}
+
+func newClientSlots(store *SeriesStore, n int) *clientSlots {
+	cs := &clientSlots{
+		store: store,
+		ids:   make([]SeriesID, 0, n),
+		owner: make([]int, 0, n),
+		last:  make([]float64, 0, n),
+		maxY:  make([]float64, 0, n),
+		slots: make(map[int]int, n),
+	}
+	return cs
+}
+
+const clientSeriesHelp = "Per-round local-steps wall time for one client (x: round)."
+
+func clientSeriesName(client int) string {
+	return fmt.Sprintf("fl_client_%d_seconds", client)
+}
+
+// append records one (round, duration) sample for a client, claiming or
+// recycling a slot as needed.
+func (cs *clientSlots) append(client int, x, y float64) {
+	cs.mu.Lock()
+	slot, ok := cs.slots[client]
+	if !ok {
+		if len(cs.ids) < cap(cs.ids) {
+			slot = len(cs.ids)
+			cs.ids = append(cs.ids, cs.store.Register(clientSeriesName(client), clientSeriesHelp, 0))
+			cs.owner = append(cs.owner, client)
+			cs.last = append(cs.last, x)
+			cs.maxY = append(cs.maxY, y)
+			cs.slots[client] = slot
+		} else {
+			slot = cs.evict()
+			if slot < 0 { // every slot is straggler-protected: drop the point
+				cs.mu.Unlock()
+				return
+			}
+			delete(cs.slots, cs.owner[slot])
+			cs.store.Recycle(cs.ids[slot], clientSeriesName(client), clientSeriesHelp)
+			cs.owner[slot], cs.last[slot], cs.maxY[slot] = client, x, y
+			cs.slots[client] = slot
+		}
+	} else {
+		cs.last[slot] = x
+		if y > cs.maxY[slot] {
+			cs.maxY[slot] = y
+		}
+	}
+	id := cs.ids[slot]
+	cs.mu.Unlock()
+	cs.store.Append(id, x, y)
+}
+
+// evict picks the victim slot under the deterministic policy, or -1 if
+// every slot is protected. Called with cs.mu held.
+func (cs *clientSlots) evict() int {
+	protected := cs.stragglers()
+	victim := -1
+	for s := range cs.ids {
+		if protected[s] {
+			continue
+		}
+		if victim < 0 {
+			victim = s
+			continue
+		}
+		switch {
+		case cs.last[s] != cs.last[victim]:
+			if cs.last[s] < cs.last[victim] {
+				victim = s
+			}
+		case cs.maxY[s] != cs.maxY[victim]:
+			if cs.maxY[s] < cs.maxY[victim] {
+				victim = s
+			}
+		case cs.owner[s] > cs.owner[victim]:
+			victim = s
+		}
+	}
+	return victim
+}
+
+// stragglers marks the StragglerTopK slots with the largest max
+// durations (ties to the lower slot index). Called with cs.mu held.
+func (cs *clientSlots) stragglers() map[int]bool {
+	k := StragglerTopK
+	if k >= len(cs.ids) {
+		k = len(cs.ids) - 1 // always leave at least one evictable slot
+	}
+	out := make(map[int]bool, k)
+	for picked := 0; picked < k; picked++ {
+		best := -1
+		for s := range cs.ids {
+			if out[s] {
+				continue
+			}
+			if best < 0 || cs.maxY[s] > cs.maxY[best] {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out[best] = true
+	}
+	return out
+}
 
 // PhaseNames are the pre-registered phase label values. Phase timers
 // started under any other name fold into "other".
@@ -68,6 +207,9 @@ type Pipeline struct {
 	sLoss     SeriesID
 	sDistill  SeriesID
 	sClient   []SeriesID // per-client round durations, indexed by client ID
+	// slots replaces sClient for cohorts above MaxClientSeries: a bounded
+	// table shared by all client IDs with straggler-protective eviction.
+	slots *clientSlots
 }
 
 // RequestKindNames are the label values of UnlearnRequests, aligned
@@ -80,6 +222,13 @@ var RequestKindNames = []string{"class", "client", "sample"}
 // spans-only operation); NewPipeline(nil, nil, …) returns a pipeline
 // that still provides working phase stopwatches.
 func NewPipeline(reg *Registry, tr *Tracer, clients int) *Pipeline {
+	// The per-client counter vector is capped like the series table:
+	// above MaxClientSeries its label space stops growing with N and
+	// higher client IDs fall into the CounterVec's silent-drop range.
+	vecClients := clients
+	if vecClients > MaxClientSeries {
+		vecClients = MaxClientSeries
+	}
 	p := &Pipeline{
 		Registry: reg,
 		Tracer:   tr,
@@ -88,7 +237,7 @@ func NewPipeline(reg *Registry, tr *Tracer, clients int) *Pipeline {
 		RoundSeconds: reg.Histogram("quickdrop_fl_round_seconds", "FedAvg round wall time in seconds.", nil),
 		Participants: reg.Gauge("quickdrop_fl_round_participants", "Clients selected in the most recent round."),
 		LocalSteps: reg.CounterVec("quickdrop_fl_local_steps_total",
-			"Client-local SGD/SGA steps.", "client", IndexValues(clients)),
+			"Client-local SGD/SGA steps.", "client", IndexValues(vecClients)),
 		Samples: reg.Counter("quickdrop_fl_samples_total", "Training samples consumed by local steps."),
 		Dropped: reg.Counter("quickdrop_fl_dropped_updates_total", "Client updates lost to injected failures."),
 		Phases:  reg.Counter("quickdrop_phases_total", "Completed pipeline phases."),
@@ -120,10 +269,16 @@ func NewPipeline(reg *Registry, tr *Tracer, clients int) *Pipeline {
 		p.sRSet = s.Register("rset_accuracy", "Accuracy on the retain set (x: eval sequence).", 0)
 		p.sLoss = s.Register("train_loss", "Client-local training loss (x: cumulative local step).", 0)
 		p.sDistill = s.Register("distill_step_seconds", "Gradient-matching update wall time (x: cumulative step).", 0)
-		p.sClient = make([]SeriesID, clients)
-		for i := range p.sClient {
-			p.sClient[i] = s.Register(fmt.Sprintf("fl_client_%d_seconds", i),
-				"Per-round local-steps wall time for one client (x: round).", 0)
+		if clients <= MaxClientSeries {
+			p.sClient = make([]SeriesID, clients)
+			for i := range p.sClient {
+				p.sClient[i] = s.Register(clientSeriesName(i), clientSeriesHelp, 0)
+			}
+		} else {
+			// Registry-scale cohort: per-client series would grow O(N).
+			// A bounded slot table keeps the sampled participants plus the
+			// top stragglers instead.
+			p.slots = newClientSlots(s, MaxClientSeries)
 		}
 	} else {
 		p.sRound, p.sPhase, p.sAccuracy, p.sFSet, p.sRSet, p.sLoss, p.sDistill = -1, -1, -1, -1, -1, -1, -1
@@ -219,6 +374,8 @@ func (p *Pipeline) EndClient(sp Span) {
 	}
 	if c := int(sp.client); c >= 0 && c < len(p.sClient) {
 		p.Series.Append(p.sClient[c], float64(sp.round), d.Seconds())
+	} else if c >= 0 && p.slots != nil {
+		p.slots.append(c, float64(sp.round), d.Seconds())
 	}
 }
 

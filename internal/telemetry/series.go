@@ -72,6 +72,32 @@ func (s *SeriesStore) Register(name, help string, capacity int) SeriesID {
 	return id
 }
 
+// Recycle renames a series in place and discards its retained points,
+// keeping the ID (and the ring allocation) stable. The pipeline's
+// bounded client-series table uses this to hand a slot from an evicted
+// client to a newly observed one without growing the catalogue. If the
+// new name is already registered to a different series the recycle is
+// refused (false), preserving the name→ID bijection.
+func (s *SeriesStore) Recycle(id SeriesID, name, help string) bool {
+	if s == nil || id < 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.series) {
+		return false
+	}
+	if other, ok := s.byName[name]; ok && other != id {
+		return false
+	}
+	b := s.series[id]
+	delete(s.byName, b.name)
+	b.name, b.help = name, help
+	b.len, b.n = 0, 0
+	s.byName[name] = id
+	return true
+}
+
 // Append records one sample. Out-of-range IDs (including the invalid
 // ID from a nil-store registration) are dropped silently; the write
 // path never allocates.

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSeriesRecycle(t *testing.T) {
+	s := NewSeriesStore()
+	id := s.Register("old_name", "old help", 8)
+	s.Append(id, 1, 2)
+	s.Append(id, 2, 3)
+	if !s.Recycle(id, "new_name", "new help") {
+		t.Fatal("recycle refused")
+	}
+	if _, ok := s.ID("old_name"); ok {
+		t.Fatal("old name still resolves after recycle")
+	}
+	if got, ok := s.ID("new_name"); !ok || got != id {
+		t.Fatalf("new name resolves to %d, want %d", got, id)
+	}
+	if pts := s.Points(id); len(pts) != 0 {
+		t.Fatalf("recycled series kept %d points", len(pts))
+	}
+	if s.Help(id) != "new help" {
+		t.Fatal("help not updated")
+	}
+	other := s.Register("taken", "", 8)
+	if s.Recycle(id, "taken", "") {
+		t.Fatalf("recycle onto a name owned by series %d must be refused", other)
+	}
+	var nilStore *SeriesStore
+	if nilStore.Recycle(0, "x", "") {
+		t.Fatal("nil store recycle must be a no-op")
+	}
+}
+
+// TestPipelineCapsClientSeries: a cohort above MaxClientSeries must not
+// register per-client series eagerly; the total series count stays
+// bounded no matter how many distinct clients report.
+func TestPipelineCapsClientSeries(t *testing.T) {
+	p := NewPipeline(NewRegistry(), NewTracer(0), 1_000_000)
+	baseline := len(p.Series.Names())
+	// Far more distinct clients than slots report one round each.
+	for c := 0; c < 10*MaxClientSeries; c++ {
+		sp := p.StartClient(1, c*1000)
+		p.EndClient(sp)
+	}
+	names := p.Series.Names()
+	clientSeries := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "fl_client_") {
+			clientSeries++
+		}
+	}
+	if clientSeries > MaxClientSeries {
+		t.Fatalf("%d client series registered, cap is %d", clientSeries, MaxClientSeries)
+	}
+	if len(names) > baseline+MaxClientSeries {
+		t.Fatalf("series catalogue grew to %d (baseline %d): not bounded", len(names), baseline)
+	}
+}
+
+// TestClientSlotsEviction exercises the deterministic policy directly:
+// least-recent rounds are evicted first and the top-K largest durations
+// are shielded.
+func TestClientSlotsEviction(t *testing.T) {
+	store := NewSeriesStore()
+	cs := newClientSlots(store, 4) // tiny table: 4 slots, min(8,3)=3 protected
+	// Fill the table. Client 0 is the straggler (huge duration), clients
+	// 1-3 fast. All at round 1.
+	cs.append(0, 1, 9.0)
+	cs.append(1, 1, 0.010)
+	cs.append(2, 1, 0.030)
+	cs.append(3, 1, 0.020)
+	// A new client arrives at round 2. Protected: top-3 maxY = clients
+	// 0 (9.0), 2 (0.030), 3 (0.020). Victim must be client 1.
+	cs.append(4, 2, 0.015)
+	if _, ok := store.ID("fl_client_1_seconds"); ok {
+		t.Fatal("client 1 should have been evicted")
+	}
+	for _, want := range []int{0, 2, 3, 4} {
+		if _, ok := store.ID(fmt.Sprintf("fl_client_%d_seconds", want)); !ok {
+			t.Fatalf("client %d series missing", want)
+		}
+	}
+	// The straggler survives even as newer clients cycle through.
+	for c := 10; c < 30; c++ {
+		cs.append(c, float64(c), 0.001)
+	}
+	if _, ok := store.ID("fl_client_0_seconds"); !ok {
+		t.Fatal("straggler (largest duration) must never be evicted")
+	}
+	// Re-reporting an existing client updates its slot, no eviction.
+	before := len(store.Names())
+	cs.append(0, 40, 0.5)
+	if len(store.Names()) != before {
+		t.Fatal("appending to an owned slot must not register or evict")
+	}
+}
+
+// TestSmallCohortKeepsEagerSeries pins the compatibility contract: at or
+// below the cap, every client gets its eagerly registered series exactly
+// as before the cap existed.
+func TestSmallCohortKeepsEagerSeries(t *testing.T) {
+	p := NewPipeline(NewRegistry(), NewTracer(0), MaxClientSeries)
+	for c := 0; c < MaxClientSeries; c++ {
+		if _, ok := p.Series.ID(fmt.Sprintf("fl_client_%d_seconds", c)); !ok {
+			t.Fatalf("client %d series not pre-registered for a small cohort", c)
+		}
+	}
+	if p.slots != nil {
+		t.Fatal("small cohorts must not use the slot table")
+	}
+}

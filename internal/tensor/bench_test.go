@@ -117,7 +117,7 @@ func BenchmarkGradientMatchingStep(b *testing.B) {
 	cfg := distill.DefaultConfig()
 	cfg.Scale = 8
 	cfg.RealBatch = 4
-	m := distill.NewMatcher(cfg, []*data.Dataset{ds}, rng)
+	m := distill.NewMatcher(cfg, data.NewCohort([]*data.Dataset{ds}), rng)
 	ctx := fl.StepContext{
 		Round: 0, Step: 0, ClientID: 0,
 		Model: model, Client: ds, Rng: rng,

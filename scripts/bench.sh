@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # bench.sh — runs the headline benchmarks (gradient-matching step,
-# FedAvg round, unlearn+recover pass) and writes the results to
+# FedAvg round, sampled million-client round, unlearn+recover pass)
+# and writes the results to
 # BENCH_<UTC stamp>.json for cross-commit comparison. Run via
 # `make bench`.
 #
@@ -22,7 +23,7 @@ echo "==> go test -bench (benchtime $BENCHTIME)"
 go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
 	-bench 'BenchmarkGradientMatchingStep$' ./internal/tensor/ | tee "$raw"
 go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
-	-bench 'BenchmarkFedAvgRound$' ./internal/fl/ | tee -a "$raw"
+	-bench 'Benchmark(FedAvgRound|SampledRound)$' ./internal/fl/ | tee -a "$raw"
 go test -run '^$' -benchmem -benchtime "$BENCHTIME" \
 	-bench 'BenchmarkUnlearnRecover$' ./internal/core/ | tee -a "$raw"
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# scale_smoke.sh — registry-scale memory smoke: runs fedsim over a
+# MILLION-client lazy cohort, sampling K=64 participants per round, and
+# asserts the run both completes and stays inside a hard heap ceiling.
+# This is the executable form of the client-registry design claim:
+# resident memory is O(model + K·shard), independent of N.
+#
+# Two layers of enforcement:
+#   1. GOMEMLIMIT is set as a soft ceiling so the GC works against the
+#      budget exactly as a memory-constrained deployment would.
+#   2. The post-run `memstats:` line printed by `fedsim -memstats`
+#      (emitted after a forced GC) is parsed and heap_alloc_bytes is
+#      compared against HEAP_CEILING_BYTES; anything O(N) at a million
+#      clients costs hundreds of MB and fails loudly.
+#
+#   CLIENTS=1000000 SAMPLE_K=64 ROUNDS=2 sh scripts/scale_smoke.sh
+#
+# Run via CI (scale-smoke job) or locally before touching the
+# registry/sampling/aggregation path.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CLIENTS=${CLIENTS:-1000000}
+SAMPLE_K=${SAMPLE_K:-64}
+ROUNDS=${ROUNDS:-2}
+STEPS=${STEPS:-1}
+PER_CLIENT=${PER_CLIENT:-64}
+# Soft GC target for the run. The live set is a few MB (model + K
+# shards + telemetry); 256MiB leaves headroom for the Go runtime and
+# transient rendering garbage while still being far below any O(N)
+# footprint (1M shards at 64 samples each would be tens of GB).
+GOMEMLIMIT=${GOMEMLIMIT:-256MiB}
+# Hard assertion on the post-GC live heap.
+HEAP_CEILING_BYTES=${HEAP_CEILING_BYTES:-134217728} # 128 MiB
+
+export GOMEMLIMIT
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "==> fedsim: $CLIENTS lazy clients, sample-k $SAMPLE_K, $ROUNDS rounds (GOMEMLIMIT=$GOMEMLIMIT)"
+go run ./cmd/fedsim \
+	-lazy -clients "$CLIENTS" -per-client "$PER_CLIENT" \
+	-sample-k "$SAMPLE_K" -rounds "$ROUNDS" -steps "$STEPS" \
+	-scale quick -seed 7 -eval-every "$ROUNDS" -memstats | tee "$out"
+
+heap=$(sed -n 's/^memstats: heap_alloc_bytes=\([0-9][0-9]*\).*/\1/p' "$out")
+if [ -z "$heap" ]; then
+	echo "scale_smoke.sh: FAIL — no memstats line in fedsim output" >&2
+	exit 1
+fi
+
+echo "scale_smoke.sh: post-GC heap ${heap} bytes (ceiling ${HEAP_CEILING_BYTES})"
+if [ "$heap" -gt "$HEAP_CEILING_BYTES" ]; then
+	echo "scale_smoke.sh: FAIL — live heap exceeds the O(model + K·shard) ceiling; something scales with N" >&2
+	exit 1
+fi
+
+echo "scale_smoke.sh: OK — million-client sampled round holds the memory contract"
