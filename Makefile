@@ -15,7 +15,11 @@ check:
 
 # Static-analysis suite enforcing the compute-backbone invariants
 # (pool balance, *Into aliasing, hot-path allocations, determinism,
-# graph freezing, error handling). See DESIGN.md "Static analysis".
+# graph freezing, error handling) and the concurrency discipline
+# (lock balance and ordering, goroutine leaks, atomic/plain mixing,
+# WaitGroup balance). See DESIGN.md "Static analysis" and
+# "Concurrency analysis". CI also gates the self-run's latency via
+# scripts/lint_time_smoke.sh (10 s budget).
 lint:
 	$(GO) run ./cmd/quickdroplint ./...
 

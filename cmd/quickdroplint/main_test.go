@@ -56,7 +56,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"poolbalance", "intoalias", "hotpathalloc", "determinism", "graphfreeze", "errcheck"} {
+	for _, rule := range []string{"poolbalance", "intoalias", "hotpathalloc", "determinism", "graphfreeze", "errcheck", "lockbalance", "lockorder", "goroutineleak", "atomicmix", "wgbalance"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}

@@ -21,8 +21,21 @@ func testClients(t *testing.T, n int, perClass int, seed int64) (*data.Cohort, *
 	return data.NewCohort(parts), test
 }
 
+// skipE2EInShort gates the end-to-end train/unlearn cycles out of
+// short mode. Under -race they multiply full FL training by the
+// detector's ~10x slowdown — the package exceeds a 10-minute timeout
+// versus ~80 s without race. `make check` runs this package with
+// `-race -short` so the fast unit tests still get race coverage.
+func skipE2EInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("end-to-end train cycle; skipped in -short mode")
+	}
+}
+
 func trainedSystem(t *testing.T, seed int64) (*System, *data.Dataset) {
 	t.Helper()
+	skipE2EInShort(t)
 	clients, test := testClients(t, 4, 12, seed)
 	cfg := DefaultConfig(testArch())
 	cfg.Seed = seed

@@ -11,6 +11,7 @@ import (
 // sampleSystem builds a trained system with sub-class grouping enabled.
 func sampleSystem(t *testing.T, seed int64) (*System, *data.Dataset) {
 	t.Helper()
+	skipE2EInShort(t)
 	clients, test := testClients(t, 3, 16, seed)
 	cfg := DefaultConfig(testArch())
 	cfg.Seed = seed
@@ -168,6 +169,7 @@ func keys(m map[int]bool) []int {
 }
 
 func TestSampleLevelWithoutGroupsStillWorks(t *testing.T) {
+	skipE2EInShort(t)
 	// Groups=1 (paper default): sample-level requests expand to the whole
 	// class subset of that client — coarse but valid.
 	clients, _ := testClients(t, 2, 8, 26)

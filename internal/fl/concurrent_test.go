@@ -9,6 +9,7 @@ import (
 	"quickdrop/internal/data"
 	"quickdrop/internal/eval"
 	"quickdrop/internal/nn"
+	"quickdrop/internal/tensor"
 )
 
 func testFactory() (ModelFactory, *nn.Model) {
@@ -97,5 +98,98 @@ func TestConcurrentPartialParticipation(t *testing.T) {
 		if n != 3 {
 			t.Fatalf("participation wrong: %v", res.ClientsPerRnd)
 		}
+	}
+}
+
+// TestConcurrentCancelMidSampledRound is the shutdown regression for
+// the worker pool: cancelling from inside the fold of a sampled round —
+// workers still holding in-flight tasks — must surface context.Canceled
+// promptly and wind every worker down without deadlocking on the tasks
+// or updates channels. Cancellation is observed at channel selects, so
+// the round in flight when cancel lands may still complete and fold;
+// the invariant is that the model only ever reflects *complete* rounds
+// — a cancelled round's partial aggregator state is discarded, never
+// folded in. Sampled concurrent is bitwise-identical to the sequential
+// runner, so "complete rounds only" is checkable exactly: the cancelled
+// model must equal some sequential prefix of the same trajectory. Run
+// under -race via make check, this also shakes out shutdown races.
+func TestConcurrentCancelMidSampledRound(t *testing.T) {
+	_, parts, _ := testSetup(t, 6, 0)
+	factory, _ := testFactory()
+	model := factory() // same initial params as the sequential references
+	reg := data.NewCohort(parts)
+
+	const rounds = 3
+	base := PhaseConfig{
+		Rounds: rounds, LocalSteps: 2, BatchSize: 8, LR: 0.05,
+		SampleK: 4,
+	}
+
+	// Sequential reference snapshots: params after 0, 1, … complete
+	// rounds of the identical trajectory (same seed, same config).
+	snapshots := make([][]*tensor.Tensor, rounds+1)
+	for r := 0; r <= rounds; r++ {
+		ref := factory()
+		cfg := base
+		cfg.Rounds = r
+		if _, err := RunPhaseRegistry(ref, reg, cfg, rand.New(rand.NewSource(76))); err != nil {
+			t.Fatal(err)
+		}
+		snapshots[r] = ref.CloneParams()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	folded := 0
+	cfg := base
+	cfg.Workers = 3
+	cfg.UpdateHook = func(round, clientID int, beforeP, afterP []*tensor.Tensor) {
+		folded++
+		if folded == 1 {
+			cancel() // first fold of round 0: the rest are in flight
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunPhaseConcurrentRegistry(ctx, model, factory, reg, cfg,
+			rand.New(rand.NewSource(76)))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || ctx.Err() == nil {
+			t.Fatalf("expected cancellation error, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("phase did not shut down after mid-round cancel")
+	}
+
+	// The model must sit exactly on a round boundary: equal to one of
+	// the sequential prefixes, bit for bit. A partial fold matches none.
+	after := model.ParamTensors()
+	boundary := -1
+	for r := 0; r <= rounds && boundary < 0; r++ {
+		same := true
+		for i := range after {
+			a, b := after[i].Data(), snapshots[r][i].Data()
+			for j := range a {
+				if a[j] != b[j] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+		}
+		if same {
+			boundary = r
+		}
+	}
+	if boundary < 0 {
+		t.Fatal("cancelled model matches no complete-round boundary: a partial round was folded in")
+	}
+	if boundary == rounds {
+		t.Fatalf("all %d rounds completed despite mid-round cancel", rounds)
 	}
 }

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix reports struct fields and package-level variables that one
+// function accesses through sync/atomic while another reads or writes
+// them plainly. Mixing the two access disciplines on one memory
+// location voids every guarantee the atomic side paid for: the plain
+// side races with concurrent atomic writers and can observe torn or
+// stale values.
+//
+// The rule is whole-program: atomic sites are collected everywhere
+// under internal/ first, then every plain access to one of those
+// locations in a *different* function is reported. Locations are
+// classified by lock-order classes ("pkg.Type.field", "pkg.var");
+// locals have no cross-function identity and are never reported.
+// Two exemptions keep constructors quiet: any address-taken access
+// (&x.f) is left to the callee's discipline, and accesses through a
+// local freshly built in the same function from a composite literal or
+// new() predate any sharing.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "no plain loads/stores of locations other functions access via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+// atomicSite records one access to a classified location.
+type atomicSite struct {
+	fn  string // enclosing function declaration
+	pos token.Pos
+}
+
+func runAtomicMix(pass *Pass) {
+	// Whole-program rule: run once, from the first loaded package.
+	if len(pass.Prog.Packages) == 0 || pass.Pkg != pass.Prog.Packages[0] {
+		return
+	}
+
+	atomicUses := make(map[string][]atomicSite) // class → atomic access sites
+	plainUses := make(map[string][]atomicSite)  // class → plain access sites
+
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				collectAtomicMix(pkg.Info, fd, atomicUses, plainUses)
+			}
+		}
+	}
+
+	// Deterministic report order: by class, then by source position.
+	classes := make([]string, 0, len(plainUses))
+	for class := range plainUses {
+		if len(atomicUses[class]) > 0 {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		sites := plainUses[class]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, plain := range sites {
+			other := ""
+			for _, at := range atomicUses[class] {
+				if at.fn != plain.fn {
+					other = at.fn
+					break
+				}
+			}
+			if other == "" {
+				continue // mixed only within one function; out of scope
+			}
+			pass.Reportf(plain.pos,
+				"%s is accessed via sync/atomic in %s but read/written plainly here; mixing atomic and plain access races",
+				class, other)
+		}
+	}
+}
+
+// collectAtomicMix walks one function declaration (nested literals
+// included — they share the declaration's name for same-function
+// grouping) and files every classified access as atomic or plain.
+func collectAtomicMix(info *types.Info, fd *ast.FuncDecl, atomicUses, plainUses map[string][]atomicSite) {
+	fn := fd.Name.Name
+
+	// Locals freshly built here from a composite literal or new():
+	// accesses through them predate sharing and are exempt.
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isFreshAlloc(info, rhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	record := func(m map[string][]atomicSite, class string, pos token.Pos) {
+		m[class] = append(m[class], atomicSite{fn: fn, pos: pos})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicPkgCall(info, n) {
+				// The &loc arguments are this call's atomic accesses;
+				// other arguments are ordinary expressions.
+				for _, arg := range n.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						ast.Inspect(arg, walk)
+						continue
+					}
+					if class, ok := lockClassOf(info, un.X); ok {
+						record(atomicUses, class, un.Pos())
+					}
+				}
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// Address-taken for a callee we don't see: not a plain
+				// load/store at this site; the callee's calls classify.
+				return false
+			}
+		case *ast.SelectorExpr:
+			if class, ok := lockClassOf(info, n); ok && !rootIsFresh(info, n, fresh) {
+				record(plainUses, class, n.Pos())
+				return false // the chain is one access, not several
+			}
+		case *ast.Ident:
+			if class, ok := lockClassOf(info, n); ok {
+				record(plainUses, class, n.Pos())
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// isAtomicPkgCall reports whether the call resolves to a function in
+// package sync/atomic (AddInt64, LoadUint32, StoreInt32, Swap…).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isFreshAlloc reports whether the expression allocates a brand-new
+// value: T{...}, &T{...}, or new(T).
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+		return lit
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		_, builtin := info.Uses[id].(*types.Builtin)
+		return builtin
+	}
+	return false
+}
+
+// rootIsFresh reports whether the base of a selector chain is one of
+// the function's freshly allocated locals.
+func rootIsFresh(info *types.Info, sel *ast.SelectorExpr, fresh map[types.Object]bool) bool {
+	var e ast.Expr = sel
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := identObj(info, x)
+			return obj != nil && fresh[obj]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicMixGolden(t *testing.T) {
+	runGolden(t, AtomicMix)
+}

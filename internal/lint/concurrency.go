@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared helpers of the concurrency rule family (lockbalance, lockorder,
+// goroutineleak, atomicmix, wgbalance): classifying sync primitive
+// calls and giving the receiver of a Lock/Unlock/Add/Done a stable
+// identity that survives CFG joins.
+
+// syncOp classifies one call on a sync primitive.
+type syncOp int
+
+const (
+	opNone syncOp = iota
+	opLock
+	opUnlock
+	opRLock
+	opRUnlock
+	opWGAdd
+	opWGDone
+	opWGWait
+)
+
+// isMutexMethod maps a *types.Func to the lock operation it performs,
+// accepting both sync.Mutex and sync.RWMutex receivers (Lock/Unlock are
+// declared on both; RLock/RUnlock only on RWMutex).
+func isMutexMethod(fn *types.Func) syncOp {
+	if fn == nil {
+		return opNone
+	}
+	onMutex := func(name string) bool {
+		return isMethodOn(fn, name, "Mutex", "sync") || isMethodOn(fn, name, "RWMutex", "sync")
+	}
+	switch fn.Name() {
+	case "Lock":
+		if onMutex("Lock") {
+			return opLock
+		}
+	case "Unlock":
+		if onMutex("Unlock") {
+			return opUnlock
+		}
+	case "RLock":
+		if isMethodOn(fn, "RLock", "RWMutex", "sync") {
+			return opRLock
+		}
+	case "RUnlock":
+		if isMethodOn(fn, "RUnlock", "RWMutex", "sync") {
+			return opRUnlock
+		}
+	}
+	return opNone
+}
+
+// isWaitGroupMethod maps a *types.Func to the WaitGroup operation it
+// performs.
+func isWaitGroupMethod(fn *types.Func) syncOp {
+	switch {
+	case isMethodOn(fn, "Add", "WaitGroup", "sync"):
+		return opWGAdd
+	case isMethodOn(fn, "Done", "WaitGroup", "sync"):
+		return opWGDone
+	case isMethodOn(fn, "Wait", "WaitGroup", "sync"):
+		return opWGWait
+	}
+	return opNone
+}
+
+// syncKey identifies one lock or WaitGroup instance inside a function:
+// the object at the root of the receiver's selector chain plus the
+// textual field path from it. Two receivers compare equal exactly when
+// they are spelled from the same root object through the same fields —
+// "s.mu" and "t.mu" differ, two mentions of "s.inner.mu" agree.
+type syncKey struct {
+	root types.Object
+	path string
+}
+
+// receiverPath resolves the receiver expression of a sync method call
+// (everything left of the final .Lock/.Unlock/…) to a syncKey and a
+// display string. Only ident/selector chains over fields qualify;
+// index expressions, function results and other dynamic receivers
+// return ok=false and stay untracked.
+func receiverPath(info *types.Info, expr ast.Expr) (syncKey, string, bool) {
+	var parts []string
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := identObj(info, e)
+			if obj == nil {
+				return syncKey{}, "", false
+			}
+			parts = append(parts, e.Name)
+			// parts were collected right-to-left; reverse for display.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			display := strings.Join(parts, ".")
+			return syncKey{root: obj, path: display}, display, true
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		default:
+			return syncKey{}, "", false
+		}
+	}
+}
+
+// syncCall splits a call into its sync-primitive receiver expression.
+// For "s.mu.Lock()" it returns the "s.mu" expression; ok=false for
+// non-selector call forms.
+func syncCallRecv(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isBuiltinPanic reports whether the call invokes the builtin panic.
+// All flow-sensitive concurrency rules share it as the CFG's panic-exit
+// predicate.
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// funcUnits yields every analysis unit of a file: each function
+// declaration body plus each function literal body, treated as separate
+// units exactly like poolbalance does (a goroutine or deferred closure
+// has its own control flow and its own balance obligations). The decl
+// a literal belongs to is passed for diagnostics context ("" at file
+// scope).
+func funcUnits(f *ast.File, visit func(body *ast.BlockStmt, enclosing string)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Body, fd.Name.Name)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(lit.Body, fd.Name.Name)
+			}
+			return true
+		})
+	}
+}

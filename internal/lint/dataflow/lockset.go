@@ -1,0 +1,159 @@
+package dataflow
+
+import "sort"
+
+// LockSetCap bounds the size of a LockSet before widening collapses it
+// to Top. Real functions hold a handful of locks at once; a set that
+// grows past the cap means the analysis lost track (generated code, a
+// pathological fixture) and the sound fallback is "unknown holdings".
+const LockSetCap = 64
+
+// LockSet is the join-semilattice fact of the lock-tracking analyses: an
+// immutable sorted set of held-lock names, with an explicit Top element
+// meaning "holdings unknown". The zero value is the empty set (bottom).
+// Join is set union — the may-hold interpretation: an element is present
+// when some path to this point acquired it and no tracked release
+// happened since. All operations return new sets; the receiver is never
+// mutated, so facts can be shared between CFG blocks.
+type LockSet struct {
+	// elems is sorted and duplicate-free. Invalid (ignored) when top.
+	elems []string
+	top   bool
+}
+
+// TopLockSet is the lattice's top element: holdings unknown. Analyses
+// must degrade gracefully on Top — typically by emitting no facts/edges
+// rather than all of them, preserving the no-false-positives bias.
+var TopLockSet = LockSet{top: true}
+
+// IsTop reports whether the set is the unknown-holdings element.
+func (s LockSet) IsTop() bool { return s.top }
+
+// Len returns the element count (0 for Top — Top enumerates nothing).
+func (s LockSet) Len() int {
+	if s.top {
+		return 0
+	}
+	return len(s.elems)
+}
+
+// Has reports membership. Top contains nothing enumerable: analyses
+// that ask "is this lock provably held" must get "no" on unknown
+// holdings.
+func (s LockSet) Has(name string) bool {
+	if s.top {
+		return false
+	}
+	i := sort.SearchStrings(s.elems, name)
+	return i < len(s.elems) && s.elems[i] == name
+}
+
+// Elems returns the sorted elements (nil for Top). The slice is shared;
+// callers must not mutate it.
+func (s LockSet) Elems() []string {
+	if s.top {
+		return nil
+	}
+	return s.elems
+}
+
+// Insert returns s ∪ {name}, widening to Top past LockSetCap.
+func (s LockSet) Insert(name string) LockSet {
+	if s.top || s.Has(name) {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)+1)
+	out = append(out, s.elems...)
+	out = append(out, name)
+	sort.Strings(out)
+	return LockSet{elems: out}.widen()
+}
+
+// Remove returns s \ {name}. Removing from Top keeps Top: once holdings
+// are unknown, one release cannot make them known again.
+func (s LockSet) Remove(name string) LockSet {
+	if s.top || !s.Has(name) {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)-1)
+	for _, e := range s.elems {
+		if e != name {
+			out = append(out, e)
+		}
+	}
+	return LockSet{elems: out}
+}
+
+// RemoveFunc returns s with every element matching pred removed.
+func (s LockSet) RemoveFunc(pred func(string) bool) LockSet {
+	if s.top {
+		return s
+	}
+	out := make([]string, 0, len(s.elems))
+	for _, e := range s.elems {
+		if !pred(e) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == len(s.elems) {
+		return s
+	}
+	return LockSet{elems: out}
+}
+
+// Join is the lattice join: set union, with Top absorbing. The result
+// widens to Top past LockSetCap so chains stabilize (the lattice height
+// seen by the fixpoint solver is bounded by the cap).
+func (s LockSet) Join(o LockSet) LockSet {
+	if s.top || o.top {
+		return TopLockSet
+	}
+	if len(s.elems) == 0 {
+		return o
+	}
+	if len(o.elems) == 0 {
+		return s
+	}
+	out := make([]string, 0, len(s.elems)+len(o.elems))
+	i, j := 0, 0
+	for i < len(s.elems) && j < len(o.elems) {
+		switch {
+		case s.elems[i] < o.elems[j]:
+			out = append(out, s.elems[i])
+			i++
+		case s.elems[i] > o.elems[j]:
+			out = append(out, o.elems[j])
+			j++
+		default:
+			out = append(out, s.elems[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, s.elems[i:]...)
+	out = append(out, o.elems[j:]...)
+	return LockSet{elems: out}.widen()
+}
+
+// Equal reports lattice equality.
+func (s LockSet) Equal(o LockSet) bool {
+	if s.top || o.top {
+		return s.top == o.top
+	}
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for i := range s.elems {
+		if s.elems[i] != o.elems[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// widen collapses oversized sets to Top.
+func (s LockSet) widen() LockSet {
+	if !s.top && len(s.elems) > LockSetCap {
+		return TopLockSet
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+)
+
+func setOf(names ...string) LockSet {
+	var s LockSet
+	for _, n := range names {
+		s = s.Insert(n)
+	}
+	return s
+}
+
+func TestLockSetInsertRemoveHas(t *testing.T) {
+	s := setOf("b", "a", "b", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := fmt.Sprint(s.Elems()); got != "[a b c]" {
+		t.Fatalf("Elems = %s, want sorted [a b c]", got)
+	}
+	if !s.Has("b") || s.Has("d") {
+		t.Fatalf("Has is wrong: b=%v d=%v", s.Has("b"), s.Has("d"))
+	}
+	r := s.Remove("b")
+	if r.Has("b") || r.Len() != 2 {
+		t.Fatalf("Remove left %v", r.Elems())
+	}
+	// Immutability: the original is untouched.
+	if !s.Has("b") || s.Len() != 3 {
+		t.Fatalf("Remove mutated the receiver: %v", s.Elems())
+	}
+}
+
+func TestLockSetJoinIsUnion(t *testing.T) {
+	a := setOf("a", "c")
+	b := setOf("b", "c", "d")
+	j := a.Join(b)
+	if got := fmt.Sprint(j.Elems()); got != "[a b c d]" {
+		t.Fatalf("Join = %s, want [a b c d]", got)
+	}
+	if !j.Equal(b.Join(a)) {
+		t.Fatal("Join is not commutative")
+	}
+	if !j.Join(j).Equal(j) {
+		t.Fatal("Join is not idempotent")
+	}
+	var empty LockSet
+	if !empty.Join(a).Equal(a) || !a.Join(empty).Equal(a) {
+		t.Fatal("empty set is not the identity of Join")
+	}
+}
+
+func TestLockSetEqual(t *testing.T) {
+	if !setOf("x", "y").Equal(setOf("y", "x")) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	if setOf("x").Equal(setOf("x", "y")) {
+		t.Fatal("unequal sets reported equal")
+	}
+	if setOf("x").Equal(TopLockSet) || !TopLockSet.Equal(TopLockSet) {
+		t.Fatal("Top equality wrong")
+	}
+}
+
+func TestLockSetWidensToTop(t *testing.T) {
+	var s LockSet
+	for i := 0; i <= LockSetCap; i++ {
+		s = s.Insert(fmt.Sprintf("lock%03d", i))
+	}
+	if !s.IsTop() {
+		t.Fatalf("set of %d elems did not widen to Top", LockSetCap+1)
+	}
+	// Top absorbs and stays Top under every operation.
+	if !s.Join(setOf("a")).IsTop() || !setOf("a").Join(s).IsTop() {
+		t.Fatal("Join with Top is not Top")
+	}
+	if !s.Insert("z").IsTop() || !s.Remove("lock000").IsTop() {
+		t.Fatal("Insert/Remove on Top must keep Top")
+	}
+	if s.Has("lock000") || s.Elems() != nil || s.Len() != 0 {
+		t.Fatal("Top must enumerate nothing")
+	}
+}
+
+func TestLockSetJoinWidens(t *testing.T) {
+	var a, b LockSet
+	for i := 0; i < LockSetCap; i++ {
+		a = a.Insert(fmt.Sprintf("a%03d", i))
+		b = b.Insert(fmt.Sprintf("b%03d", i))
+	}
+	if a.IsTop() || b.IsTop() {
+		t.Fatal("halves widened prematurely")
+	}
+	if !a.Join(b).IsTop() {
+		t.Fatal("join past the cap did not widen to Top")
+	}
+}
+
+func TestLockSetRemoveFunc(t *testing.T) {
+	s := setOf("a|1", "a|2", "b|1")
+	r := s.RemoveFunc(func(e string) bool { return e[0] == 'a' })
+	if got := fmt.Sprint(r.Elems()); got != "[b|1]" {
+		t.Fatalf("RemoveFunc = %s, want [b|1]", got)
+	}
+	if r2 := s.RemoveFunc(func(string) bool { return false }); !r2.Equal(s) {
+		t.Fatal("no-op RemoveFunc changed the set")
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak reports go statements that can never terminate and
+// spawn sites that can never be bounded:
+//
+//   - A goroutine that sends on or receives from a channel created in
+//     the spawning function that no other code ever touches — the make
+//     and the goroutine are the channel's only mentions — blocks
+//     forever: nobody can complete the rendezvous. (A buffered channel
+//     exempts pure senders up to its capacity; receivers block
+//     regardless of buffering when nothing is ever sent or closed.)
+//   - A go statement inside a range loop spawns one goroutine per
+//     element; without a sync.WaitGroup in sight or a channel operation
+//     in the loop (a semaphore or result rendezvous), nothing bounds or
+//     joins the spawn — the signature of an unbounded fan-out that a
+//     bounded worker pool should replace.
+//
+// Both checks are syntactic over one function at a time and only fire
+// on provable isolation, never on channels that escape to other
+// functions, fields, or collections.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "no goroutines that block forever on orphaned channels, no unbounded per-element spawns",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutineLeak(pass, fd.Body)
+		}
+	}
+}
+
+// localChan describes one channel made in the analyzed function.
+type localChan struct {
+	name     string
+	buffered bool // capacity > 0, or unprovable (non-constant)
+	makePos  ast.Node
+}
+
+func checkGoroutineLeak(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Local channels: ch := make(chan T[, n]) bound to a plain ident.
+	chans := make(map[types.Object]*localChan)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isMakeChan(info, call) {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := identObj(info, id)
+			if obj == nil {
+				continue
+			}
+			chans[obj] = &localChan{name: id.Name, buffered: chanBuffered(info, call), makePos: as}
+		}
+		return true
+	})
+
+	// Every go statement in the function, with the set of local
+	// channels its payload mentions.
+	type spawn struct {
+		stmt *ast.GoStmt
+		uses map[types.Object]bool
+	}
+	var spawns []*spawn
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		sp := &spawn{stmt: gs, uses: make(map[types.Object]bool)}
+		ast.Inspect(gs.Call, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if obj := identObj(info, id); obj != nil {
+					if _, isChan := chans[obj]; isChan {
+						sp.uses[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		spawns = append(spawns, sp)
+		return true
+	})
+	if len(chans) == 0 && len(spawns) == 0 {
+		return
+	}
+
+	// Orphaned-channel check: a channel used by exactly one go
+	// statement and nowhere else (besides its make) has no peer to
+	// complete any blocking operation inside that goroutine.
+	for obj, ch := range chans {
+		var user *spawn
+		shared := false
+		for _, sp := range spawns {
+			if sp.uses[obj] {
+				if user != nil {
+					shared = true
+				}
+				user = sp
+			}
+		}
+		if user == nil || shared {
+			continue
+		}
+		if chanUsedOutside(info, body, obj, ch.makePos, user.stmt) {
+			continue
+		}
+		recv, send := chanOpsIn(info, user.stmt.Call, obj)
+		switch {
+		case recv:
+			pass.Reportf(user.stmt.Pos(),
+				"goroutine blocks forever: it receives from %s, which nothing else ever sends on or closes", ch.name)
+		case send && !ch.buffered:
+			pass.Reportf(user.stmt.Pos(),
+				"goroutine blocks forever: it sends on unbuffered %s, which nothing else ever receives from", ch.name)
+		}
+	}
+
+	// Unbounded-spawn check: go inside a range loop with no WaitGroup
+	// mention and no channel operation bounding the loop body.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(rs.Body, func(x ast.Node) bool {
+			gs, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if loopBoundsSpawn(info, rs.Body) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"unbounded goroutine spawn: one goroutine per ranged element with no WaitGroup or bounding channel; use a bounded worker pool")
+			return true
+		})
+		return true
+	})
+}
+
+// isMakeChan reports whether the call is the builtin make of a channel
+// type.
+func isMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	t := info.Types[call.Args[0]].Type
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// chanBuffered reports whether the make call provably has capacity > 0;
+// a non-constant capacity counts as buffered (benefit of the doubt).
+func chanBuffered(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	tv := info.Types[call.Args[1]]
+	if tv.Value == nil {
+		return true // unprovable capacity: assume buffered
+	}
+	return tv.Value.String() != "0"
+}
+
+// chanUsedOutside reports whether the channel object is mentioned
+// anywhere in body outside its make statement and the given go
+// statement. Any such mention (a send, receive, close, argument,
+// return, store) gives the goroutine a potential peer.
+func chanUsedOutside(info *types.Info, body *ast.BlockStmt, obj types.Object, makeStmt ast.Node, gs *ast.GoStmt) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == makeStmt || n == gs {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && identObj(info, id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// chanOpsIn classifies the blocking operations on obj inside the
+// goroutine payload: receive (<-ch, range ch) and send (ch <- v).
+func chanOpsIn(info *types.Info, payload ast.Node, obj types.Object) (recv, send bool) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && identObj(info, id) == obj
+	}
+	ast.Inspect(payload, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && isObj(n.X) {
+				recv = true
+			}
+		case *ast.SendStmt:
+			if isObj(n.Chan) {
+				send = true
+			}
+		case *ast.RangeStmt:
+			if isObj(n.X) {
+				recv = true
+			}
+		}
+		return true
+	})
+	return recv, send
+}
+
+// loopBoundsSpawn reports whether the loop body shows any sign of
+// bounding or joining its spawns: a sync.WaitGroup expression, or any
+// channel send/receive in the body (a semaphore slot or a rendezvous).
+func loopBoundsSpawn(info *types.Info, body *ast.BlockStmt) bool {
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			bound = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				bound = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupMethod(calleeFunc(info, n)) != opNone {
+				bound = true
+			}
+		case *ast.Ident:
+			if obj := identObj(info, n); obj != nil {
+				if isNamedIn(obj.Type(), "WaitGroup", "sync") {
+					bound = true
+				}
+			}
+		}
+		return !bound
+	})
+	return bound
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroutineLeakGolden(t *testing.T) {
+	runGolden(t, GoroutineLeak)
+}

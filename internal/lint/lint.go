@@ -70,15 +70,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
 		Determinism,
 		ErrCheck,
+		GoroutineLeak,
 		GraphFreeze,
 		HotPathAlloc,
 		IntoAlias,
+		LockBalance,
+		LockOrder,
 		PoolBalance,
 		Shapecheck,
 		Telemetry,
 		VJPShape,
+		WGBalance,
 	}
 }
 

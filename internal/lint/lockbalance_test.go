@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockBalanceGolden(t *testing.T) {
+	runGolden(t, LockBalance)
+}

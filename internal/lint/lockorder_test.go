@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestLockOrderGolden(t *testing.T) {
+	runGolden(t, LockOrder)
+}
+
+func edge(from, to string) *lockEdge {
+	return &lockEdge{from: from, to: to, pos: token.Pos(1)}
+}
+
+func TestLockGraphTwoCycle(t *testing.T) {
+	g := newLockGraph()
+	g.addEdge(edge("A", "B"))
+	g.addEdge(edge("B", "A"))
+	g.addEdge(edge("B", "C")) // C hangs off the cycle, not in it
+	cyc := g.cycleEdges()
+	if len(cyc) != 2 {
+		t.Fatalf("cycle edges = %d, want 2", len(cyc))
+	}
+	for _, e := range cyc {
+		if e.to == "C" || e.from == "C" {
+			t.Fatalf("edge %s→%s wrongly in cycle", e.from, e.to)
+		}
+	}
+	if got := g.sccMembers("A"); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("sccMembers(A) = %v, want [A B]", got)
+	}
+}
+
+func TestLockGraphAcyclicIsClean(t *testing.T) {
+	g := newLockGraph()
+	g.addEdge(edge("A", "B"))
+	g.addEdge(edge("B", "C"))
+	g.addEdge(edge("A", "C"))
+	if cyc := g.cycleEdges(); len(cyc) != 0 {
+		t.Fatalf("acyclic graph reported %d cycle edges", len(cyc))
+	}
+}
+
+func TestLockGraphLongCycle(t *testing.T) {
+	g := newLockGraph()
+	g.addEdge(edge("A", "B"))
+	g.addEdge(edge("B", "C"))
+	g.addEdge(edge("C", "D"))
+	g.addEdge(edge("D", "A"))
+	g.addEdge(edge("X", "A")) // feeds the cycle from outside
+	cyc := g.cycleEdges()
+	if len(cyc) != 4 {
+		t.Fatalf("cycle edges = %d, want 4", len(cyc))
+	}
+	if got := g.sccMembers("C"); len(got) != 4 {
+		t.Fatalf("sccMembers(C) = %v, want the 4-cycle", got)
+	}
+}
+
+func TestLockGraphDedupesEdges(t *testing.T) {
+	g := newLockGraph()
+	first := &lockEdge{from: "A", to: "B", pos: token.Pos(10)}
+	g.addEdge(first)
+	g.addEdge(&lockEdge{from: "A", to: "B", pos: token.Pos(99)})
+	g.addEdge(edge("B", "A"))
+	cyc := g.cycleEdges()
+	if len(cyc) != 2 {
+		t.Fatalf("cycle edges = %d, want 2 (dedup failed)", len(cyc))
+	}
+	if cyc[0] != first {
+		t.Fatal("dedup did not keep the first observation")
+	}
+}

@@ -1,0 +1,68 @@
+// Package p exercises the atomicmix analyzer.
+package p
+
+import "sync/atomic"
+
+type Counter struct {
+	hits   int64
+	misses int64
+}
+
+// Inc and Snapshot establish the atomic discipline for hits.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Racy reads hits plainly while Inc writes it atomically.
+func (c *Counter) Racy() int64 {
+	return c.hits // want `p.Counter.hits is accessed via sync/atomic in Inc but read/written plainly here`
+}
+
+// Reset stores plainly: a torn or lost write under concurrent Inc.
+func (c *Counter) Reset() {
+	c.hits = 0 // want `p.Counter.hits is accessed via sync/atomic in Inc`
+}
+
+// misses never sees an atomic access: plain use everywhere is clean.
+func (c *Counter) Miss()         { c.misses++ }
+func (c *Counter) Misses() int64 { return c.misses }
+
+// NewCounter builds a fresh value; nothing shares it yet, so the plain
+// initialization is exempt.
+func NewCounter(seed int64) *Counter {
+	c := &Counter{}
+	c.hits = seed
+	return c
+}
+
+// branchRead mixes on only one branch; the mix still races when that
+// branch runs.
+func branchRead(c *Counter, flag bool) int64 {
+	if flag {
+		return c.hits // want `p.Counter.hits is accessed via sync/atomic in Inc`
+	}
+	return -1
+}
+
+var total int64
+
+func bump() { atomic.AddInt64(&total, 1) }
+
+// report reads the package-level counter plainly.
+func report() int64 {
+	return total // want `p.total is accessed via sync/atomic in bump`
+}
+
+// handoff only takes the address; the callee's accesses classify.
+func handoff()         { bumpVia(&total) }
+func bumpVia(p *int64) { atomic.AddInt64(p, 1) }
+
+// startupReset documents a deliberate pre-concurrency store.
+func startupReset() {
+	//lint:allow atomicmix single-goroutine startup, no readers exist yet
+	total = 0
+}

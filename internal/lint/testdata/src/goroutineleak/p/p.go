@@ -1,0 +1,143 @@
+// Package p exercises the goroutineleak analyzer.
+package p
+
+import "sync"
+
+// orphanedReceive: the goroutine receives from a channel nobody else
+// ever touches — it blocks forever.
+func orphanedReceive() {
+	done := make(chan struct{})
+	go func() { // want `goroutine blocks forever: it receives from done, which nothing else ever sends on or closes`
+		<-done
+	}()
+}
+
+// orphanedSend: an unbuffered send with no receiver anywhere.
+func orphanedSend() {
+	out := make(chan int)
+	go func() { // want `goroutine blocks forever: it sends on unbuffered out, which nothing else ever receives from`
+		out <- 1
+	}()
+}
+
+// orphanedRange: ranging over an orphaned channel is a receive.
+func orphanedRange() {
+	feed := make(chan int)
+	go func() { // want `goroutine blocks forever: it receives from feed, which nothing else ever sends on or closes`
+		for v := range feed {
+			_ = v
+		}
+	}()
+}
+
+// bufferedSendOK: the buffer absorbs the send; the goroutine exits.
+func bufferedSendOK() {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+}
+
+// consumedOK: the spawner receives, so the rendezvous completes.
+func consumedOK() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// closedOK: the spawner closes the channel the goroutine ranges over.
+func closedOK(vals []int) {
+	feed := make(chan int, len(vals))
+	go func() {
+		for v := range feed {
+			_ = v
+		}
+	}()
+	for _, v := range vals {
+		feed <- v
+	}
+	close(feed)
+}
+
+// escapesOK: the channel leaves the function; a peer may exist.
+func escapesOK(sink func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	sink(ch)
+}
+
+// sharedPairOK: two goroutines use the channel as peers of each other.
+func sharedPairOK() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	go func() { <-ch }()
+}
+
+// branchSendOK: only one branch ever sends, but the analysis is
+// conservative about path feasibility — any peer mention outside the
+// goroutine silences the report.
+func branchSendOK(flag bool) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	if flag {
+		ch <- 1
+	}
+}
+
+// unboundedSpawn: one goroutine per element, nothing joins or bounds.
+func unboundedSpawn(jobs []int, handle func(int)) {
+	for _, j := range jobs {
+		go handle(j) // want `unbounded goroutine spawn: one goroutine per ranged element with no WaitGroup or bounding channel`
+	}
+}
+
+// waitedSpawnOK: a WaitGroup joins every spawn.
+func waitedSpawnOK(jobs []int, handle func(int)) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// semaphoreSpawnOK: a buffered channel bounds concurrency.
+func semaphoreSpawnOK(jobs []int, handle func(int)) {
+	sem := make(chan struct{}, 4)
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			handle(j)
+		}()
+	}
+}
+
+// fixedPoolOK: a 3-clause for loop spawns a fixed worker count — the
+// shape of a bounded pool, outside the per-element heuristic.
+func fixedPoolOK(tasks chan int, handle func(int)) {
+	for w := 0; w < 4; w++ {
+		go func() {
+			for t := range tasks {
+				handle(t)
+			}
+		}()
+	}
+}
+
+// suppressedSpawn: an allow directive silences the report.
+func suppressedSpawn(jobs []int, handle func(int)) {
+	for _, j := range jobs {
+		//lint:allow goroutineleak fire-and-forget by design, jobs is tiny
+		go handle(j)
+	}
+}

@@ -1,0 +1,54 @@
+// Package teller closes an interprocedural lock-order cycle with
+// package bank: Audit is held while a helper that locks Account runs,
+// and bank holds Account while locking Ledger… while Audited here holds
+// Ledger around an Audit acquisition.
+package teller
+
+import (
+	"sync"
+
+	"quickdrop/internal/bank"
+)
+
+var reportMu sync.Mutex
+
+// creditLocked locks the account three frames below the Audit hold in
+// AuditedCredit; the summary propagation must surface the edge there.
+func creditLocked(a *bank.Account, n int) {
+	a.Mu.Lock()
+	a.Balance += n
+	a.Mu.Unlock()
+}
+
+func creditShim(a *bank.Account, n int) {
+	creditLocked(a, n)
+}
+
+// AuditedCredit holds Audit.Mu across the shim call: Audit → Account.
+func AuditedCredit(au *bank.Audit, a *bank.Account, n int) {
+	au.Mu.Lock()
+	defer au.Mu.Unlock()
+	creditShim(a, n) // want `potential deadlock: bank.Account.Mu is acquired while bank.Audit.Mu is held \(via the call to creditShim\)`
+	au.Rows++
+}
+
+// LedgeredAudit holds Ledger.Mu while taking Audit.Mu — with Deposit's
+// Account → Ledger edge this closes the three-class cycle
+// Account → Ledger → Audit → Account.
+func LedgeredAudit(l *bank.Ledger, au *bank.Audit) {
+	l.Mu.Lock()
+	defer l.Mu.Unlock()
+	au.Mu.Lock() // want `potential deadlock: bank.Audit.Mu is acquired while bank.Ledger.Mu is held`
+	au.Rows = l.Entries
+	au.Mu.Unlock()
+}
+
+// GlobalThenField is clean: the package-level reportMu participates in
+// the graph but only in one direction, so no cycle involves it.
+func GlobalThenField(au *bank.Audit) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	au.Mu.Lock()
+	au.Rows++
+	au.Mu.Unlock()
+}

@@ -1,0 +1,132 @@
+// Package p exercises the wgbalance analyzer.
+package p
+
+import "sync"
+
+func handle(j int) {}
+
+// earlyReturnSkip: the guard path leaves the goroutine without Done.
+func earlyReturnSkip(wg *sync.WaitGroup, jobs []int) {
+	go func() {
+		if len(jobs) == 0 {
+			return
+		}
+		for _, j := range jobs {
+			handle(j)
+		}
+		wg.Done() // want `wg.Done is skipped on some path out of this function; the matching Wait hangs`
+	}()
+}
+
+// deferredDone is the pattern the rule steers toward: every exit,
+// including the panicking one, runs Done.
+func deferredDone(wg *sync.WaitGroup, ok bool) {
+	defer wg.Done()
+	if !ok {
+		panic("bad input")
+	}
+}
+
+// branchBalanced: both explicit paths Done exactly once.
+func branchBalanced(wg *sync.WaitGroup, fast bool) {
+	if fast {
+		wg.Done()
+		return
+	}
+	handle(0)
+	wg.Done()
+}
+
+// doubleDone drives the counter negative on the straight-line path.
+func doubleDone(wg *sync.WaitGroup) {
+	wg.Done()
+	wg.Done() // want `wg.Done on a path where it already ran; the counter goes negative and panics`
+}
+
+// panicSkip: the panic path never reaches the trailing Done.
+func panicSkip(wg *sync.WaitGroup, ok bool) {
+	if !ok {
+		panic("bad input")
+	}
+	wg.Done() // want `wg.Done is skipped when this function panics; defer it so every exit runs it`
+}
+
+// addInGoroutine races the spawner's Wait: the counter can hit zero
+// before the goroutine bumps it.
+func addInGoroutine(wg *sync.WaitGroup, jobs []int) {
+	for _, j := range jobs {
+		go func() {
+			wg.Add(1) // want `wg.Add inside the spawned goroutine races with Wait; call Add in the spawner before the go statement`
+			defer wg.Done()
+			handle(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnerAdds is the corrected shape: Add before go, Done deferred.
+func spawnerAdds(wg *sync.WaitGroup, jobs []int) {
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			handle(j)
+		}()
+	}
+	wg.Wait()
+}
+
+// orchestrator pairs a conditional Add with a conditional Done in one
+// function; the unit balances the counter deliberately and is exempt.
+func orchestrator(wg *sync.WaitGroup, extra bool) {
+	if extra {
+		wg.Add(1)
+	}
+	handle(0)
+	if extra {
+		wg.Done()
+	}
+}
+
+// reuse waits out one generation before starting the next; Add after a
+// completed Wait is legal.
+func reuse() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		handle(1)
+	}()
+	wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		handle(2)
+	}()
+	wg.Wait()
+}
+
+// nestedPool: the spawned goroutine runs its own WaitGroup for its own
+// children; nothing outside the payload touches it.
+func nestedPool(outer *sync.WaitGroup, tasks []int) {
+	outer.Add(1)
+	go func() {
+		defer outer.Done()
+		var inner sync.WaitGroup
+		for range tasks {
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+			}()
+		}
+		inner.Wait()
+	}()
+	outer.Wait()
+}
+
+// suppressedDouble documents an upstream double-Add.
+func suppressedDouble(wg *sync.WaitGroup) {
+	wg.Done()
+	//lint:allow wgbalance the counter was bumped twice by the enqueuer
+	wg.Done()
+}

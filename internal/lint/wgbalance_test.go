@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestWGBalanceGolden(t *testing.T) {
+	runGolden(t, WGBalance)
+}
