@@ -21,7 +21,18 @@ import (
 	"quickdrop/internal/telemetry"
 )
 
+// main delegates to run so that every error path exits nonzero through
+// a single site AND deferred cleanups (telemetry server, open files)
+// still execute — os.Exit inside the work function would skip them and
+// smoke scripts could not trust the exit code.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickdrop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		dataset       = flag.String("dataset", "cifarlike", "dataset: mnistlike|cifarlike|svhnlike")
 		clients       = flag.Int("clients", 10, "number of FL clients")
@@ -43,12 +54,12 @@ func main() {
 
 	sc, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sc.Seed = *seed
 	setup, err := experiments.NewSetup(*dataset, *clients, *alpha, sc)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := setup.CoreConfig()
 	cfg.Distill.Scale = *distillScale
@@ -60,7 +71,7 @@ func main() {
 		if *telAddr != "" {
 			srv, err := telemetry.Serve(*telAddr, cfg.Telemetry)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			defer func() { _ = srv.Close() }()
 			fmt.Printf("telemetry: serving on http://%s/metrics (dashboard: /dashboard)\n", srv.Addr())
@@ -69,19 +80,19 @@ func main() {
 
 	sys, err := core.NewSystem(cfg, setup.Cohort)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *loadState != "" {
 		f, err := os.Open(*loadState)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sys.LoadState(f); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("restored state from %s; test accuracy %.2f%%\n",
 			*loadState, 100*eval.Accuracy(sys.Model, setup.Test))
@@ -90,7 +101,7 @@ func main() {
 			*clients, *dataset, *alpha, cfg.Train.Rounds)
 		start := time.Now()
 		if _, err := sys.Train(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("trained in %s; test accuracy %.2f%%; distillation overhead %s\n",
 			time.Since(start).Round(time.Millisecond),
@@ -108,7 +119,7 @@ func main() {
 	for _, req := range reqs {
 		rep, err := sys.Unlearn(req)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("%v: %w", req, err)
 		}
 		f, r := setup.SplitAccuracy(sys.Model, req)
 		cfg.Telemetry.RecordSplitAccuracy(f, r)
@@ -118,7 +129,7 @@ func main() {
 			rep.Recover.WallTime.Round(time.Millisecond), rep.Recover.DataSize)
 		if *relearn {
 			if _, err := sys.Relearn(req); err != nil {
-				fatal(err)
+				return fmt.Errorf("relearn %v: %w", req, err)
 			}
 			f, r = setup.SplitAccuracy(sys.Model, req)
 			cfg.Telemetry.RecordSplitAccuracy(f, r)
@@ -129,13 +140,13 @@ func main() {
 	if *saveState != "" {
 		f, err := os.Create(*saveState)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := sys.SaveState(f); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("state saved to %s\n", *saveState)
 	}
@@ -143,13 +154,13 @@ func main() {
 	if *modelOut != "" {
 		f, err := os.Create(*modelOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := sys.Model.WriteTo(f); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("model written to %s\n", *modelOut)
 	}
@@ -163,7 +174,7 @@ func main() {
 		})
 		path, err := telemetry.WriteManifest(*ledgerDir, m)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("ledger: manifest written to %s\n", path)
 	}
@@ -172,21 +183,17 @@ func main() {
 		cfg.Telemetry.Close()
 		f, err := os.Create(*eventsOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		log := telemetry.NewEventLog(f)
 		log.EmitSpans(tracer)
 		if err := log.Err(); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("telemetry events written to %s\n", *eventsOut)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "quickdrop:", err)
-	os.Exit(1)
+	return nil
 }

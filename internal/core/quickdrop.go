@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"quickdrop/internal/data"
 	"quickdrop/internal/distill"
@@ -88,6 +89,13 @@ type PhaseParams struct {
 	BatchSize     int
 	LR            float64
 	Participation float64
+	// SampleK, when positive, runs the phase in the registry's sampled
+	// mode: each round draws K participants instead of enumerating the
+	// cohort (mutually exclusive with Participation; see
+	// fl.PhaseConfig.SampleK). Only the training phase consults it —
+	// unlearning and recovery operate on the synthetic shards, which
+	// are as small as the cohort of distilled clients.
+	SampleK int
 }
 
 // Config assembles every knob of the QuickDrop system. Defaults follow the
@@ -167,6 +175,11 @@ type System struct {
 	Counter optim.Counter
 
 	rng *rand.Rand
+	// busy serializes pipeline operations: a System owns one global
+	// model and one RNG stream, so a second concurrent Train / Unlearn
+	// / Recover / Relearn is rejected with ErrBusy instead of silently
+	// corrupting both (see batch.go).
+	busy atomic.Bool
 	// forget tracks the currently-unlearned classes and clients so that
 	// sequential requests exclude already-unlearned knowledge from
 	// recovery, and relearning can restore it.
@@ -212,6 +225,10 @@ func NewSystem(cfg Config, clients fl.ClientRegistry) (*System, error) {
 // distillation, then augmentation and optional fine-tuning of the
 // synthetic sets.
 func (s *System) Train() (fl.PhaseResult, error) {
+	if err := s.acquire("Train"); err != nil {
+		return fl.PhaseResult{}, err
+	}
+	defer s.release()
 	if s.trained {
 		return fl.PhaseResult{}, fmt.Errorf("core: system already trained")
 	}
@@ -226,6 +243,7 @@ func (s *System) Train() (fl.PhaseResult, error) {
 		BatchSize:     s.Cfg.Train.BatchSize,
 		LR:            s.Cfg.Train.LR,
 		Participation: s.Cfg.Train.Participation,
+		SampleK:       s.Cfg.Train.SampleK,
 		Hook:          s.Matcher.Hook(),
 		Counter:       &s.Counter,
 		Telemetry:     s.Cfg.Telemetry,
@@ -469,71 +487,25 @@ func (s *System) retainShards() []*data.Dataset {
 
 // Unlearn executes steps 3 and 4 for a request: SGA rounds on the
 // synthetic forget set followed by SGD recovery rounds on the remaining
-// synthetic data.
+// synthetic data. It is the single-request form of UnlearnBatch and is
+// bit-for-bit identical to a batch of one.
 func (s *System) Unlearn(req Request) (Report, error) {
-	if !s.trained {
-		return Report{}, fmt.Errorf("core: Unlearn before Train")
-	}
-	if err := s.checkNotRemoved(req); err != nil {
+	if err := s.acquire("Unlearn"); err != nil {
 		return Report{}, err
 	}
-	forget, err := s.forgetShards(req)
-	if err != nil {
-		return Report{}, err
-	}
-
-	rep := Report{Request: req}
-	s.Cfg.Telemetry.Request(int(req.Kind) - 1)
-	uRes, err := fl.RunPhase(s.Model, forget, fl.PhaseConfig{
-		Rounds:     s.Cfg.Unlearn.Rounds,
-		LocalSteps: s.Cfg.Unlearn.LocalSteps,
-		BatchSize:  s.Cfg.Unlearn.BatchSize,
-		LR:         s.Cfg.Unlearn.LR,
-		Dir:        optim.Ascend,
-		Counter:    &s.Counter,
-		Telemetry:  s.Cfg.Telemetry,
-		Phase:      "unlearn",
-	}, s.rng)
-	if err != nil {
-		return rep, fmt.Errorf("core: unlearning phase: %w", err)
-	}
+	defer s.release()
+	br, err := s.unlearnBatchLocked([]Request{req})
 	// Phase wall time comes from the telemetry phase timer inside
 	// RunPhase, so eval.Cost is populated from the same spans the
 	// exporters see.
-	rep.Unlearn = eval.Cost{Rounds: uRes.Rounds, WallTime: uRes.WallTime, DataSize: shardSize(forget)}
-	s.observe("unlearn")
-
-	// Mark removed before building retain shards so the forget data is
-	// excluded from recovery.
-	if err := s.markRemoved(req, true); err != nil {
+	rep := Report{Request: req, Unlearn: br.Unlearn, Recover: br.Recover, Total: br.Total}
+	if err != nil {
+		if len(br.Rejected) == 1 {
+			// Surface the resolution error directly, not the batch wrapper.
+			return rep, br.Rejected[0].Err
+		}
 		return rep, err
 	}
-
-	retain := s.retainShards()
-	if shardSize(retain) == 0 {
-		// Nothing left to recover on (e.g. the last class of a sequential
-		// request stream was just unlearned) — recovery is a no-op.
-		rep.Total = rep.Unlearn
-		s.observe("recover")
-		return rep, nil
-	}
-	rRes, err := fl.RunPhase(s.Model, retain, fl.PhaseConfig{
-		Rounds:        s.Cfg.Recover.Rounds,
-		LocalSteps:    s.Cfg.Recover.LocalSteps,
-		BatchSize:     s.Cfg.Recover.BatchSize,
-		LR:            s.Cfg.Recover.LR,
-		Participation: s.Cfg.Recover.Participation,
-		Counter:       &s.Counter,
-		Telemetry:     s.Cfg.Telemetry,
-		Phase:         "recover",
-	}, s.rng)
-	if err != nil {
-		return rep, fmt.Errorf("core: recovery phase: %w", err)
-	}
-	rep.Recover = eval.Cost{Rounds: rRes.Rounds, WallTime: rRes.WallTime, DataSize: shardSize(retain)}
-	rep.Total = rep.Unlearn
-	rep.Total.Add(rep.Recover)
-	s.observe("recover")
 	return rep, nil
 }
 
@@ -548,6 +520,10 @@ func (s *System) observe(stage string) {
 // to show that two recovery rounds suffice; harnesses use it to trace
 // accuracy round by round (Fig. 2).
 func (s *System) Recover(rounds int) (eval.Cost, error) {
+	if err := s.acquire("Recover"); err != nil {
+		return eval.Cost{}, err
+	}
+	defer s.release()
 	if !s.trained {
 		return eval.Cost{}, fmt.Errorf("core: Recover before Train")
 	}
@@ -574,6 +550,10 @@ func (s *System) Recover(rounds int) (eval.Cost, error) {
 // Relearn executes step 5: SGD on the synthetic data of a previously
 // unlearned request, restoring the erased knowledge.
 func (s *System) Relearn(req Request) (Report, error) {
+	if err := s.acquire("Relearn"); err != nil {
+		return Report{}, err
+	}
+	defer s.release()
 	if !s.trained {
 		return Report{}, fmt.Errorf("core: Relearn before Train")
 	}

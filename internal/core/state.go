@@ -91,6 +91,10 @@ func (s *System) SaveState(w io.Writer) error {
 // (untrained) System with the same configuration and client layout. After
 // loading, the system behaves as if Train had run in this process.
 func (s *System) LoadState(r io.Reader) error {
+	if err := s.acquire("LoadState"); err != nil {
+		return err
+	}
+	defer s.release()
 	if s.trained {
 		return fmt.Errorf("core: LoadState on an already-trained system")
 	}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/eval"
+	"quickdrop/internal/fl"
+	"quickdrop/internal/nn"
+)
+
+// Evaluator measures a request's forget-set and retain-set accuracy on
+// the given model. The worker calls it twice per ticket — before the
+// coalesced pass and after publish — producing the before/after pair
+// the run-ledger audit trail records for every deletion request.
+type Evaluator interface {
+	Split(m *nn.Model, req core.Request) (fset, rset float64)
+}
+
+// CohortEvaluator evaluates requests against a held-out test set and
+// the cohort's original shards, mirroring how the experiment harnesses
+// report the paper's F-Set / R-Set metric per request kind:
+//
+//   - class-level: F-Set = test samples of the class, R-Set = the rest;
+//   - client-level: F-Set = the client's local data, R-Set = test set;
+//   - sample-level: F-Set = the requested local samples, R-Set = test set.
+type CohortEvaluator struct {
+	Clients fl.ClientRegistry
+	Test    *data.Dataset
+}
+
+// Split implements Evaluator.
+func (e CohortEvaluator) Split(m *nn.Model, req core.Request) (fset, rset float64) {
+	if m == nil || e.Test == nil {
+		return 0, 0
+	}
+	switch req.Kind {
+	case core.ClassLevel:
+		return eval.ClassSplit(m, e.Test, req.Class)
+	case core.ClientLevel:
+		return eval.SubsetSplit(m, e.shard(req.Client), e.Test)
+	case core.SampleLevel:
+		shard := e.shard(req.Client)
+		var idx []int
+		for _, s := range req.Samples {
+			if s >= 0 && s < shard.Len() {
+				idx = append(idx, s)
+			}
+		}
+		return eval.SubsetSplit(m, shard.Subset(idx), e.Test)
+	default:
+		return 0, 0
+	}
+}
+
+// shard returns a client's original data, or an empty set for indices
+// outside the cohort (accuracy on an empty set reports 0).
+func (e CohortEvaluator) shard(client int) *data.Dataset {
+	if e.Clients == nil || client < 0 || client >= e.Clients.NumClients() {
+		return data.NewDataset(e.Test.H, e.Test.W, e.Test.C, e.Test.Classes)
+	}
+	return e.Clients.Shard(client)
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"quickdrop/internal/core"
+)
+
+func tkt(id uint64) *Ticket {
+	return newTicket(id, core.Request{Kind: core.ClassLevel, Class: int(id)})
+}
+
+func TestQueueBounds(t *testing.T) {
+	q := NewQueue(2)
+	if err := q.Enqueue(tkt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(tkt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(tkt(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third enqueue: got %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueTakeAllAndOrder(t *testing.T) {
+	q := NewQueue(8)
+	for id := uint64(1); id <= 4; id++ {
+		if err := q.Enqueue(tkt(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, ok := q.Wait()
+	if !ok || first.ID != 1 {
+		t.Fatalf("Wait = %v, %v; want ticket 1", first, ok)
+	}
+	rest := q.TakeAll()
+	if len(rest) != 3 || rest[0].ID != 2 || rest[2].ID != 4 {
+		t.Fatalf("TakeAll returned %d items in wrong order", len(rest))
+	}
+	if q.TakeAll() != nil {
+		t.Fatal("TakeAll on empty queue should return nil")
+	}
+}
+
+func TestQueueCloseDrainsBacklog(t *testing.T) {
+	q := NewQueue(8)
+	if err := q.Enqueue(tkt(1)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Enqueue(tkt(2)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("enqueue after close: got %v, want ErrQueueClosed", err)
+	}
+	// The backlog survives Close: drain semantics.
+	if got, ok := q.Wait(); !ok || got.ID != 1 {
+		t.Fatalf("Wait after close = %v, %v; want backlog ticket", got, ok)
+	}
+	if _, ok := q.Wait(); ok {
+		t.Fatal("Wait on closed empty queue should report done")
+	}
+}
+
+// TestQueueConcurrent hammers producers against a consumer under the
+// race detector: every successfully enqueued ticket is consumed
+// exactly once and the consumer observes closure.
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue(64)
+	const producers, perProducer = 8, 32
+
+	var wg sync.WaitGroup
+	var accepted, rejected int64
+	var mu sync.Mutex
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				err := q.Enqueue(tkt(uint64(p*perProducer + i)))
+				mu.Lock()
+				if err == nil {
+					accepted++
+				} else {
+					rejected++
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+
+	consumed := make(chan int64, 1)
+	go func() {
+		var n int64
+		for {
+			if _, ok := q.Wait(); !ok {
+				consumed <- n
+				return
+			}
+			n++
+		}
+	}()
+
+	wg.Wait()
+	q.Close()
+	got := <-consumed
+	mu.Lock()
+	want := accepted
+	mu.Unlock()
+	if got != want {
+		t.Fatalf("consumed %d tickets, want %d (rejected %d)", got, want, rejected)
+	}
+}

@@ -1,0 +1,230 @@
+// Package serve turns a trained QuickDrop system into an
+// unlearning-as-a-service daemon. Forget requests arrive over
+// HTTP/JSON, queue into a bounded buffer, and a single worker drains
+// the whole backlog into ONE coalesced SGA + recovery pass
+// (core.System.UnlearnBatch), amortizing recovery — the expensive
+// stage — across every pending deletion the same way the paper
+// amortizes distillation across training. Each pass publishes an
+// immutable copy-on-write model snapshot; inference reads never block
+// on unlearning, and every request leaves a before/after forget-set
+// accuracy entry in the run-ledger audit trail.
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/telemetry"
+)
+
+// DefaultQueueCap bounds the request queue when Config.QueueCap is 0.
+const DefaultQueueCap = 256
+
+// Config assembles a Server.
+type Config struct {
+	// System is the trained QuickDrop system the worker mutates. The
+	// server owns it exclusively once Start is called — concurrent
+	// callers going around the queue are rejected with core.ErrBusy.
+	System *core.System
+	// Evaluator measures per-request forget/retain accuracy for the
+	// audit trail. Nil disables accuracy audit fields (they report 0).
+	Evaluator Evaluator
+	// ModelFactory builds throwaway models for /v1/predict workers; each
+	// gets snapshot parameters swapped in via SetParams. Nil disables
+	// the predict endpoint.
+	ModelFactory func() *nn.Model
+	// QueueCap bounds the request queue (DefaultQueueCap when 0).
+	QueueCap int
+	// Linger is how long the worker waits after the first request of a
+	// batch for more to coalesce. Zero means drain whatever is already
+	// queued and go.
+	Linger time.Duration
+	// Sequential disables coalescing: one request per batch, in order.
+	// The zero value — coalescing on — is the point of the daemon.
+	Sequential bool
+	// Telemetry, if set, receives the daemon's metrics, series, and the
+	// per-request audit log folded into the run ledger.
+	Telemetry *telemetry.Pipeline
+}
+
+// Server is the unlearning service: HTTP handlers produce tickets into
+// the queue, one worker coalesces and executes them, and a snapshot
+// store publishes the results to readers.
+type Server struct {
+	cfg     Config
+	sys     *core.System
+	q       *Queue
+	store   *SnapshotStore
+	mux     *http.ServeMux
+	metrics *serveMetrics
+
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	started  atomic.Bool
+	draining atomic.Bool
+
+	// tmu guards the ticket index; tickets are never deleted, so the
+	// audit surface (/v1/requests) covers the server's whole life.
+	tmu     sync.Mutex
+	tickets map[uint64]*Ticket
+	order   []uint64
+
+	nextID   atomic.Uint64
+	batchSeq atomic.Uint64
+	// published/failed are the daemon's own totals, alive whether or
+	// not a telemetry pipeline (whose counters mirror them) is attached.
+	published atomic.Int64
+	failed    atomic.Int64
+
+	evalPool sync.Pool
+}
+
+// New assembles a server around a trained system and publishes the
+// current model as snapshot version 1.
+func New(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	s := &Server{
+		cfg:     cfg,
+		sys:     cfg.System,
+		q:       NewQueue(cfg.QueueCap),
+		store:   NewSnapshotStore(),
+		mux:     http.NewServeMux(),
+		metrics: newServeMetrics(cfg.Telemetry),
+		stop:    make(chan struct{}),
+		tickets: make(map[uint64]*Ticket),
+	}
+	if cfg.ModelFactory != nil {
+		s.evalPool.New = func() any { return cfg.ModelFactory() }
+	}
+	version := s.store.Publish(s.sys.Model.CloneParams())
+	s.metrics.modelVersion.Set(float64(version))
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler: the /v1 API plus the
+// telemetry surface (/metrics, /dashboard, /api/series, /debug/*).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the snapshot store (tests and embedding callers).
+func (s *Server) Store() *SnapshotStore { return s.store }
+
+// Start launches the worker. Idempotent; requests enqueued before
+// Start sit in the queue and coalesce into the first batch.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Drain stops accepting new requests, lets the worker finish the
+// backlog (still coalesced), and blocks until it exits. Idempotent.
+func (s *Server) Drain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.q.Close()
+	close(s.stop)
+	if s.started.Load() {
+		s.wg.Wait()
+	}
+}
+
+// Stats is the /v1/status payload.
+type Stats struct {
+	QueueDepth    int    `json:"queue_depth"`
+	Batches       uint64 `json:"batches_total"`
+	Published     int64  `json:"requests_published_total"`
+	Failed        int64  `json:"requests_failed_total"`
+	ModelVersion  uint64 `json:"model_version"`
+	LiveSnapshots int    `json:"live_snapshots"`
+	Draining      bool   `json:"draining"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		QueueDepth:    s.q.Len(),
+		Batches:       s.batchSeq.Load(),
+		Published:     s.published.Load(),
+		Failed:        s.failed.Load(),
+		ModelVersion:  s.store.Version(),
+		LiveSnapshots: s.store.Live(),
+		Draining:      s.draining.Load(),
+	}
+}
+
+// submit registers a ticket and enqueues it.
+func (s *Server) submit(req core.Request) (*Ticket, error) {
+	t := newTicket(s.nextID.Add(1), req)
+	s.tmu.Lock()
+	s.tickets[t.ID] = t
+	s.order = append(s.order, t.ID)
+	s.tmu.Unlock()
+	if err := s.q.Enqueue(t); err != nil {
+		t.fail(err)
+		return t, err
+	}
+	s.metrics.queueDepth.Set(float64(s.q.Len()))
+	return t, nil
+}
+
+// ticket looks up a ticket by ID.
+func (s *Server) ticket(id uint64) (*Ticket, bool) {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	t, ok := s.tickets[id]
+	return t, ok
+}
+
+// views snapshots every ticket in submission order.
+func (s *Server) views() []View {
+	s.tmu.Lock()
+	ids := append([]uint64(nil), s.order...)
+	index := make([]*Ticket, len(ids))
+	for i, id := range ids {
+		index[i] = s.tickets[id]
+	}
+	s.tmu.Unlock()
+	out := make([]View, len(index))
+	for i, t := range index {
+		out[i] = t.View()
+	}
+	return out
+}
+
+// sortTickets orders a batch canonically — by kind, then target, then
+// sample list, then ticket ID — so the published model is a function of
+// the coalesced SET of requests, not of their arrival interleaving.
+func sortTickets(ts []*Ticket) {
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i].Req, ts[j].Req
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		for k := 0; k < len(a.Samples) && k < len(b.Samples); k++ {
+			if a.Samples[k] != b.Samples[k] {
+				return a.Samples[k] < b.Samples[k]
+			}
+		}
+		if len(a.Samples) != len(b.Samples) {
+			return len(a.Samples) < len(b.Samples)
+		}
+		return ts[i].ID < ts[j].ID
+	})
+}

@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/data"
+	"quickdrop/internal/distill"
+	"quickdrop/internal/nn"
+	"quickdrop/internal/telemetry"
+)
+
+// tinyArch is small enough that full train/unlearn cycles stay fast
+// under the race detector (this package is raced without -short).
+func tinyArch() nn.ConvNetConfig {
+	return nn.ConvNetConfig{InputH: 6, InputW: 6, InputC: 1, Classes: 4, Width: 4, Depth: 1}
+}
+
+func tinyConfig(seed int64) core.Config {
+	return core.Config{
+		Arch:    tinyArch(),
+		Train:   core.PhaseParams{Rounds: 2, LocalSteps: 2, BatchSize: 8, LR: 0.1},
+		Unlearn: core.PhaseParams{Rounds: 1, LocalSteps: 2, BatchSize: 8, LR: 0.02},
+		Recover: core.PhaseParams{Rounds: 1, LocalSteps: 2, BatchSize: 8, LR: 0.01},
+		Relearn: core.PhaseParams{Rounds: 1, LocalSteps: 2, BatchSize: 8, LR: 0.01},
+		Distill: distill.Config{Scale: 2, Steps: 1, LR: 0.1, RealBatch: 8, Eps: 1e-6},
+		Augment: true,
+		Seed:    seed,
+	}
+}
+
+// tinySystem trains a 3-client system on a 4-class procedural dataset
+// in well under a second.
+func tinySystem(t testing.TB, cfg core.Config) (*core.System, *data.Dataset) {
+	t.Helper()
+	spec := data.Spec{Name: "tiny", H: 6, W: 6, C: 1, Classes: 4,
+		TrainPerClass: 8, TestPerClass: 4, Noise: 0.1, Jitter: 1}
+	train, test := data.Generate(spec, 5)
+	parts := data.PartitionIID(train, 3, rand.New(rand.NewSource(6)))
+	sys, err := core.NewSystem(cfg, data.NewCohort(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, test
+}
+
+func newTestServer(t testing.TB, cfg core.Config, serveCfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, test := tinySystem(t, cfg)
+	serveCfg.System = sys
+	if serveCfg.Evaluator == nil {
+		serveCfg.Evaluator = CohortEvaluator{Clients: sys.Clients, Test: test}
+	}
+	if serveCfg.ModelFactory == nil {
+		serveCfg.ModelFactory = func() *nn.Model {
+			return nn.NewConvNet(tinyArch(), rand.New(rand.NewSource(1)))
+		}
+	}
+	s := New(serveCfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.Drain()
+		ts.Close()
+	})
+	return s, ts
+}
+
+func postForget(t testing.TB, url string, body string) (int, View) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/forget", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func waitTerminal(t testing.TB, s *Server, ids ...uint64) {
+	t.Helper()
+	for _, id := range ids {
+		tk, ok := s.ticket(id)
+		if !ok {
+			t.Fatalf("no ticket %d", id)
+		}
+		select {
+		case <-tk.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("ticket %d stuck in state %v", id, tk.State())
+		}
+	}
+}
+
+// TestServerCoalescesConcurrentRequests is the end-to-end contract:
+// K concurrent posts collapse into ONE batched SGA+recovery pass, the
+// result publishes as a single new snapshot version, and every request
+// carries its own audit entry with before/after accuracies.
+func TestServerCoalescesConcurrentRequests(t *testing.T) {
+	pipe := telemetry.NewPipeline(telemetry.NewRegistry(), nil, 3)
+	s, ts := newTestServer(t, tinyConfig(9), Config{Telemetry: pipe})
+
+	// Concurrent submissions while the worker is not yet running: they
+	// pile up in the queue and must coalesce into exactly one batch.
+	bodies := []string{
+		`{"kind":"class","class":1}`,
+		`{"kind":"class","class":2}`,
+		`{"kind":"client","client":0}`,
+	}
+	ids := make([]uint64, len(bodies))
+	var wg sync.WaitGroup
+	wg.Add(len(bodies))
+	for i, body := range bodies {
+		go func(i int, body string) {
+			defer wg.Done()
+			code, v := postForget(t, ts.URL, body)
+			if code != http.StatusAccepted {
+				t.Errorf("post %d: status %d, want 202", i, code)
+				return
+			}
+			if v.State != "queued" {
+				t.Errorf("post %d: state %q, want queued", i, v.State)
+			}
+			ids[i] = v.ID
+		}(i, body)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	s.Start()
+	waitTerminal(t, s, ids...)
+
+	var views struct {
+		Requests []View `json:"requests"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/requests", &views); code != http.StatusOK {
+		t.Fatalf("/v1/requests status %d", code)
+	}
+	if len(views.Requests) != 3 {
+		t.Fatalf("%d requests listed, want 3", len(views.Requests))
+	}
+	for _, v := range views.Requests {
+		if v.State != "published" {
+			t.Fatalf("request %d state %q (error %q), want published", v.ID, v.State, v.Error)
+		}
+		if v.Batch != 1 {
+			t.Fatalf("request %d ran in batch %d, want 1 (coalesced)", v.ID, v.Batch)
+		}
+		if v.Version != 2 {
+			t.Fatalf("request %d published version %d, want 2", v.ID, v.Version)
+		}
+	}
+
+	st := s.Stats()
+	if st.Batches != 1 {
+		t.Fatalf("%d batches executed, want 1", st.Batches)
+	}
+	if st.Published != 3 || st.Failed != 0 {
+		t.Fatalf("published=%d failed=%d, want 3/0", st.Published, st.Failed)
+	}
+	if st.ModelVersion != 2 {
+		t.Fatalf("model version %d, want 2 (initial + one coalesced publish)", st.ModelVersion)
+	}
+
+	// One audit entry per request, before/after accuracies populated,
+	// folded into the run-ledger manifest.
+	entries := pipe.Audit.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("%d audit entries, want 3", len(entries))
+	}
+	for _, e := range entries {
+		if e.Status != "published" || e.Batch != 1 || e.Version != 2 {
+			t.Fatalf("audit entry %+v: want published/batch 1/version 2", e)
+		}
+	}
+	man := telemetry.BuildManifest(pipe, "serve-test", 9, nil)
+	if len(man.Audit) != 3 {
+		t.Fatalf("manifest carries %d audit entries, want 3", len(man.Audit))
+	}
+}
+
+// TestServerArrivalOrderIndependence pins the canonical-batch-order
+// guarantee: the same request set posted in opposite orders publishes
+// bitwise-identical model parameters.
+func TestServerArrivalOrderIndependence(t *testing.T) {
+	run := func(bodies []string) []float64 {
+		s, ts := newTestServer(t, tinyConfig(21), Config{})
+		ids := make([]uint64, len(bodies))
+		for i, b := range bodies {
+			code, v := postForget(t, ts.URL, b)
+			if code != http.StatusAccepted {
+				t.Fatalf("post: status %d", code)
+			}
+			ids[i] = v.ID
+		}
+		s.Start()
+		waitTerminal(t, s, ids...)
+		snap := s.Store().Acquire()
+		defer snap.Release()
+		if snap.Version() != 2 {
+			t.Fatalf("version %d, want 2", snap.Version())
+		}
+		var flat []float64
+		for _, p := range snap.Params() {
+			flat = append(flat, p.Data()...)
+		}
+		return flat
+	}
+
+	a := run([]string{`{"kind":"class","class":1}`, `{"kind":"client","client":2}`, `{"kind":"class","class":3}`})
+	b := run([]string{`{"kind":"class","class":3}`, `{"kind":"class","class":1}`, `{"kind":"client","client":2}`})
+	if len(a) != len(b) {
+		t.Fatalf("parameter counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs across arrival orders: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestServerRejectsConcurrentDirectUnlearn drives the ErrBusy guard
+// through the server path: while the worker holds the System inside a
+// batch, a direct Unlearn from another goroutine is rejected.
+func TestServerRejectsConcurrentDirectUnlearn(t *testing.T) {
+	inUnlearn := make(chan struct{})
+	proceed := make(chan struct{})
+	var once sync.Once
+	cfg := tinyConfig(33)
+	cfg.Observer = func(stage string) {
+		if stage != "unlearn" {
+			return
+		}
+		once.Do(func() {
+			inUnlearn <- struct{}{}
+			<-proceed
+		})
+	}
+	s, ts := newTestServer(t, cfg, Config{})
+	code, v := postForget(t, ts.URL, `{"kind":"class","class":0}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("post: status %d", code)
+	}
+	s.Start()
+
+	<-inUnlearn // worker is mid-batch, guard held
+	_, err := s.sys.Unlearn(core.Request{Kind: core.ClassLevel, Class: 1})
+	if !errors.Is(err, core.ErrBusy) {
+		t.Errorf("direct Unlearn during batch: got %v, want core.ErrBusy", err)
+	}
+	close(proceed)
+	waitTerminal(t, s, v.ID)
+	if tk, _ := s.ticket(v.ID); tk.State() != StatePublished {
+		t.Fatalf("ticket state %v, want published", tk.State())
+	}
+}
+
+// TestServerRejectedAndFailedRequests covers per-request rejection
+// inside an otherwise-successful batch, plus submission-time 400s.
+func TestServerRejectedAndFailedRequests(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(41), Config{})
+
+	for _, bad := range []string{
+		`{"kind":"class"}`,
+		`{"kind":"class","class":99}`,
+		`{"kind":"client","client":-1}`,
+		`{"kind":"sample","client":0}`,
+		`{"kind":"nope"}`,
+		`not json`,
+	} {
+		if code, _ := postForget(t, ts.URL, bad); code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", bad, code)
+		}
+	}
+
+	// A duplicate inside the coalesced batch is rejected; the other
+	// requests still publish.
+	_, v1 := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	_, v2 := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	_, v3 := postForget(t, ts.URL, `{"kind":"class","class":2}`)
+	s.Start()
+	waitTerminal(t, s, v1.ID, v2.ID, v3.ID)
+
+	states := map[string]int{}
+	for _, id := range []uint64{v1.ID, v2.ID, v3.ID} {
+		tk, _ := s.ticket(id)
+		states[tk.State().String()]++
+	}
+	if states["published"] != 2 || states["failed"] != 1 {
+		t.Fatalf("states %v, want 2 published + 1 failed", states)
+	}
+	st := s.Stats()
+	if st.Published != 2 || st.Failed != 1 {
+		t.Fatalf("stats published=%d failed=%d, want 2/1", st.Published, st.Failed)
+	}
+}
+
+// TestServerWaitAndSequential exercises wait=true through a sequential
+// (non-coalescing) server: each request runs in its own batch.
+func TestServerWaitAndSequential(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(55), Config{Sequential: true})
+	s.Start()
+
+	code, v := postForget(t, ts.URL, `{"kind":"class","class":1,"wait":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("wait post: status %d, want 200", code)
+	}
+	if v.State != "published" || v.Version != 2 || v.Batch != 1 {
+		t.Fatalf("wait view %+v, want published in batch 1 at version 2", v)
+	}
+	code, v = postForget(t, ts.URL, `{"kind":"class","class":2,"wait":true}`)
+	if code != http.StatusOK || v.Batch != 2 || v.Version != 3 {
+		t.Fatalf("second wait view %+v (status %d), want batch 2 version 3", v, code)
+	}
+}
+
+// TestServerPredictAndModel exercises the read path: /v1/model and
+// /v1/predict serve from the snapshot store and never 5xx while
+// unlearning runs.
+func TestServerPredictAndModel(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(66), Config{})
+	s.Start()
+
+	var model map[string]any
+	if code := getJSON(t, ts.URL+"/v1/model", &model); code != http.StatusOK {
+		t.Fatalf("/v1/model status %d", code)
+	}
+	if v := model["version"].(float64); v != 1 {
+		t.Fatalf("model version %v, want 1", v)
+	}
+
+	sample := make([]float64, 6*6)
+	body, _ := json.Marshal(map[string]any{"inputs": [][]float64{sample, sample}})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewBuffer(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred struct {
+		Version     uint64 `json:"version"`
+		Predictions []int  `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pred); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pred.Predictions) != 2 {
+		t.Fatalf("predict: status %d predictions %v", resp.StatusCode, pred.Predictions)
+	}
+
+	// Wrong input size is a 400, not a panic.
+	body, _ = json.Marshal(map[string]any{"inputs": [][]float64{make([]float64, 5)}})
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewBuffer(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short input: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerDrain checks graceful shutdown: queued work completes,
+// new submissions get 503, Drain is idempotent.
+func TestServerDrain(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(77), Config{})
+	_, v := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	s.Start()
+	waitTerminal(t, s, v.ID)
+
+	s.Drain()
+	if code, _ := postForget(t, ts.URL, `{"kind":"class","class":2}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("post after drain: status %d, want 503", code)
+	}
+	var st Stats
+	if code := getJSON(t, ts.URL+"/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("/v1/status status %d", code)
+	}
+	if !st.Draining {
+		t.Fatal("status should report draining")
+	}
+	s.Drain() // idempotent
+}
+
+// TestServerLingerCoalesces verifies the linger window: requests
+// posted shortly AFTER the worker picks up the first one still fold
+// into the same batch.
+func TestServerLingerCoalesces(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(88), Config{Linger: 500 * time.Millisecond})
+	s.Start()
+
+	_, v1 := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	time.Sleep(50 * time.Millisecond) // worker has dequeued v1 and is lingering
+	_, v2 := postForget(t, ts.URL, `{"kind":"class","class":2}`)
+	waitTerminal(t, s, v1.ID, v2.ID)
+
+	t1, _ := s.ticket(v1.ID)
+	t2, _ := s.ticket(v2.ID)
+	b1, b2 := t1.View().Batch, t2.View().Batch
+	if b1 != 1 || b2 != 1 {
+		t.Fatalf("batches %d and %d, want both in batch 1 (lingered coalescing)", b1, b2)
+	}
+	if s.Stats().Batches != 1 {
+		t.Fatalf("%d batches, want 1", s.Stats().Batches)
+	}
+}
+
+// TestRequestBodyRoundTrip pins the wire form of each request kind.
+func TestRequestBodyRoundTrip(t *testing.T) {
+	cases := []core.Request{
+		{Kind: core.ClassLevel, Class: 3},
+		{Kind: core.ClientLevel, Client: 2},
+		{Kind: core.SampleLevel, Client: 1, Samples: []int{4, 5}},
+	}
+	for _, req := range cases {
+		b := requestBody(req)
+		back, err := ForgetRequest{RequestBody: b}.toCore(10, 10)
+		if err != nil {
+			t.Fatalf("%v: %v", req, err)
+		}
+		if fmt.Sprint(back) != fmt.Sprint(req) {
+			t.Fatalf("round trip %v → %v", req, back)
+		}
+	}
+}

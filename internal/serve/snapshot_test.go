@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"quickdrop/internal/tensor"
+)
+
+// fill returns a one-tensor parameter set whose every element is v —
+// readers can detect torn snapshots by checking uniformity.
+func fill(v float64) []*tensor.Tensor {
+	p := tensor.New(8)
+	d := p.Data()
+	for i := range d {
+		d[i] = v
+	}
+	return []*tensor.Tensor{p}
+}
+
+func TestSnapshotStoreVersioning(t *testing.T) {
+	st := NewSnapshotStore()
+	if sn := st.Acquire(); sn != nil {
+		t.Fatal("Acquire on empty store should return nil")
+	}
+	if v := st.Publish(fill(1)); v != 1 {
+		t.Fatalf("first publish version %d, want 1", v)
+	}
+	if v := st.Publish(fill(2)); v != 2 {
+		t.Fatalf("second publish version %d, want 2", v)
+	}
+	sn := st.Acquire()
+	if sn.Version() != 2 || sn.Params()[0].Data()[0] != 2 {
+		t.Fatalf("acquired version %d with value %v, want 2/2", sn.Version(), sn.Params()[0].Data()[0])
+	}
+	sn.Release()
+	if st.Version() != 2 {
+		t.Fatalf("store version %d, want 2", st.Version())
+	}
+}
+
+// TestSnapshotReclamation pins the copy-on-write lifetime rules: a
+// superseded version lives while a reader holds it and is reclaimed
+// (params freed, live count decremented) on the last release.
+func TestSnapshotReclamation(t *testing.T) {
+	st := NewSnapshotStore()
+	st.Publish(fill(1))
+	old := st.Acquire() // reader pins v1
+	st.Publish(fill(2)) // store drops its v1 ref; reader keeps it alive
+	if st.Live() != 2 {
+		t.Fatalf("Live = %d with a pinned superseded version, want 2", st.Live())
+	}
+	if old.Params()[0].Data()[0] != 1 {
+		t.Fatal("pinned snapshot no longer readable after supersession")
+	}
+	old.Release()
+	if st.Live() != 1 {
+		t.Fatalf("Live = %d after last release of v1, want 1", st.Live())
+	}
+	if old.params != nil {
+		t.Fatal("reclaimed snapshot still holds its params")
+	}
+	// The current version is never reclaimed out from under the store.
+	cur := st.Acquire()
+	if cur == nil || cur.Version() != 2 {
+		t.Fatalf("current version unavailable after reclamation: %v", cur)
+	}
+	cur.Release()
+	if st.Live() != 1 {
+		t.Fatalf("Live = %d after releasing a reader of the current version, want 1", st.Live())
+	}
+}
+
+func TestSnapshotNilRelease(t *testing.T) {
+	var sn *Snapshot
+	sn.Release() // must not panic: readers defer Release on Acquire() == nil
+}
+
+// TestSnapshotConcurrentReaders runs readers against a publisher under
+// the race detector: acquisitions never block, never observe a torn
+// parameter set, and every superseded version is reclaimed once the
+// readers finish.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	st := NewSnapshotStore()
+	st.Publish(fill(1))
+
+	const versions, readers, reads = 200, 4, 500
+	var wg sync.WaitGroup
+	wg.Add(readers + 1)
+	go func() {
+		defer wg.Done()
+		for v := 2; v <= versions; v++ {
+			st.Publish(fill(float64(v)))
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				sn := st.Acquire()
+				if sn == nil {
+					t.Error("Acquire returned nil after first publish")
+					return
+				}
+				d := sn.Params()[0].Data()
+				want := float64(sn.Version())
+				for _, got := range d {
+					if got != want {
+						t.Errorf("torn snapshot: version %d holds value %v", sn.Version(), got)
+						sn.Release()
+						return
+					}
+				}
+				sn.Release()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if st.Version() != versions {
+		t.Fatalf("final version %d, want %d", st.Version(), versions)
+	}
+	if st.Live() != 1 {
+		t.Fatalf("Live = %d after all readers released, want 1 (only the current version)", st.Live())
+	}
+}

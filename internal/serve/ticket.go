@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/telemetry"
+)
+
+// State is a request's position in the serving lifecycle:
+//
+//	queued → coalesced → unlearning → recovered → published
+//	                                            ↘ failed
+//
+// Failed is reachable from any earlier state (parse-time rejection,
+// batch resolution failure, phase error).
+type State int32
+
+const (
+	StateQueued State = iota
+	StateCoalesced
+	StateUnlearning
+	StateRecovered
+	StatePublished
+	StateFailed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateCoalesced:
+		return "coalesced"
+	case StateUnlearning:
+		return "unlearning"
+	case StateRecovered:
+		return "recovered"
+	case StatePublished:
+		return "published"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Terminal reports whether the lifecycle is over.
+func (s State) Terminal() bool { return s == StatePublished || s == StateFailed }
+
+// Ticket tracks one forget request through the serving lifecycle. The
+// worker mutates it; HTTP handlers snapshot it via View; waiters block
+// on Done.
+type Ticket struct {
+	ID  uint64
+	Req core.Request
+
+	mu       sync.Mutex
+	state    State
+	batch    uint64
+	version  uint64
+	fsetB    float64
+	fsetA    float64
+	rsetB    float64
+	rsetA    float64
+	err      error
+	enqueued int64
+	done     int64
+	doneCh   chan struct{}
+}
+
+func newTicket(id uint64, req core.Request) *Ticket {
+	return &Ticket{
+		ID:       id,
+		Req:      req,
+		state:    StateQueued,
+		enqueued: telemetry.Now(),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// Done is closed when the ticket reaches a terminal state.
+func (t *Ticket) Done() <-chan struct{} { return t.doneCh }
+
+// State returns the current lifecycle state.
+func (t *Ticket) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+func (t *Ticket) setState(s State) {
+	t.mu.Lock()
+	t.state = s
+	t.mu.Unlock()
+}
+
+// coalesce marks the ticket as drained into batch seq with its
+// pre-pass accuracies.
+func (t *Ticket) coalesce(seq uint64, fset, rset float64) {
+	t.mu.Lock()
+	t.state = StateCoalesced
+	t.batch = seq
+	t.fsetB, t.rsetB = fset, rset
+	t.mu.Unlock()
+}
+
+// finish moves the ticket to a terminal state and wakes waiters.
+func (t *Ticket) finish(s State, version uint64, fset, rset float64, err error) {
+	t.mu.Lock()
+	if t.state.Terminal() {
+		t.mu.Unlock()
+		return
+	}
+	t.state = s
+	t.version = version
+	t.fsetA, t.rsetA = fset, rset
+	t.err = err
+	t.done = telemetry.Now()
+	t.mu.Unlock()
+	close(t.doneCh)
+}
+
+// fail terminates the ticket with an error.
+func (t *Ticket) fail(err error) { t.finish(StateFailed, 0, 0, 0, err) }
+
+// View is the JSON projection of a ticket.
+type View struct {
+	ID      uint64      `json:"id"`
+	Request RequestBody `json:"request"`
+	State   string      `json:"state"`
+	Batch   uint64      `json:"batch,omitempty"`
+	Version uint64      `json:"version,omitempty"`
+	// Before/after forget- and retain-set accuracies, mirrored into the
+	// run-ledger audit entry on completion.
+	FsetBefore float64 `json:"fset_before"`
+	FsetAfter  float64 `json:"fset_after"`
+	RsetBefore float64 `json:"rset_before"`
+	RsetAfter  float64 `json:"rset_after"`
+	Error      string  `json:"error,omitempty"`
+	Enqueued   int64   `json:"enqueued_unix_nanos"`
+	Completed  int64   `json:"completed_unix_nanos,omitempty"`
+}
+
+// View snapshots the ticket for JSON encoding.
+func (t *Ticket) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := View{
+		ID:         t.ID,
+		Request:    requestBody(t.Req),
+		State:      t.state.String(),
+		Batch:      t.batch,
+		Version:    t.version,
+		FsetBefore: t.fsetB,
+		FsetAfter:  t.fsetA,
+		RsetBefore: t.rsetB,
+		RsetAfter:  t.rsetA,
+		Enqueued:   t.enqueued,
+		Completed:  t.done,
+	}
+	if t.err != nil {
+		v.Error = t.err.Error()
+	}
+	return v
+}
+
+// audit converts the finished ticket into its run-ledger entry.
+func (t *Ticket) audit() telemetry.AuditEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := telemetry.AuditEntry{
+		ID:         t.ID,
+		Stamp:      t.done,
+		Request:    t.Req.String(),
+		Kind:       kindName(t.Req.Kind),
+		Batch:      t.batch,
+		Version:    t.version,
+		Status:     t.state.String(),
+		FsetBefore: t.fsetB,
+		FsetAfter:  t.fsetA,
+		RsetBefore: t.rsetB,
+		RsetAfter:  t.rsetA,
+	}
+	if t.err != nil {
+		e.Err = t.err.Error()
+	}
+	return e
+}
+
+// kindName maps a request kind onto its wire / audit name, aligned
+// with telemetry.RequestKindNames.
+func kindName(k core.RequestKind) string {
+	if i := int(k) - 1; i >= 0 && i < len(telemetry.RequestKindNames) {
+		return telemetry.RequestKindNames[i]
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}

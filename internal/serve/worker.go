@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/telemetry"
+)
+
+// run is the single worker loop: wait for a request, linger briefly so
+// concurrent submitters pile up, drain the whole backlog, and execute
+// it as one coalesced batch. Exits when the queue is closed and empty.
+func (s *Server) run() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.q.Wait()
+		if !ok {
+			return
+		}
+		batch := []*Ticket{t}
+		if !s.cfg.Sequential {
+			s.linger()
+			batch = append(batch, s.q.TakeAll()...)
+		}
+		s.metrics.queueDepth.Set(float64(s.q.Len()))
+		s.runBatch(batch)
+	}
+}
+
+// linger gives concurrent submitters a coalescing window. Cut short by
+// Drain so shutdown never waits out the full window.
+func (s *Server) linger() {
+	if s.cfg.Linger <= 0 {
+		return
+	}
+	timer := time.NewTimer(s.cfg.Linger)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.stop:
+	}
+}
+
+// runBatch executes one coalesced unlearning pass and publishes the
+// resulting model as a new snapshot version.
+func (s *Server) runBatch(tickets []*Ticket) {
+	seq := s.batchSeq.Add(1)
+	// Canonical order makes the published parameters a function of the
+	// request set: K requests coalesce to the same model no matter how
+	// their HTTP posts interleaved.
+	sortTickets(tickets)
+
+	reqs := make([]core.Request, len(tickets))
+	for i, t := range tickets {
+		fset, rset := s.eval(t.Req)
+		t.coalesce(seq, fset, rset)
+		reqs[i] = t.Req
+	}
+	s.metrics.batchRequests.Observe(float64(len(tickets)))
+	s.metrics.series.Append(s.metrics.sBatch, float64(seq), float64(len(tickets)))
+
+	for _, t := range tickets {
+		t.setState(StateUnlearning)
+	}
+	br, err := s.sys.UnlearnBatch(reqs)
+	if err != nil && len(br.Requests) == 0 {
+		// Nothing executed — the model is unchanged (phase errors roll
+		// back the forget ledger), so there is no new version to publish.
+		for i, t := range tickets {
+			t.fail(s.rejectionFor(br, i, err))
+			s.audit(t)
+		}
+		s.failed.Add(int64(len(tickets)))
+		s.metrics.failed.Add(int64(len(tickets)))
+		return
+	}
+
+	rejected := make(map[int]error, len(br.Rejected))
+	for _, re := range br.Rejected {
+		rejected[re.Index] = re.Err
+	}
+	for i, t := range tickets {
+		if rejected[i] == nil {
+			t.setState(StateRecovered)
+		}
+	}
+
+	sw := telemetry.StartTimer()
+	version := s.store.Publish(s.sys.Model.CloneParams())
+	d := sw.Elapsed().Seconds()
+	s.metrics.publishSeconds.Observe(d)
+	s.metrics.modelVersion.Set(float64(version))
+	s.metrics.batches.Inc()
+	s.metrics.series.Append(s.metrics.sPublish, float64(seq), d)
+	s.metrics.series.Append(s.metrics.sVersion, float64(seq), float64(version))
+	s.metrics.series.Append(s.metrics.sQueue, float64(seq), float64(s.q.Len()))
+
+	for i, t := range tickets {
+		if rErr := rejected[i]; rErr != nil {
+			t.fail(rErr)
+			s.failed.Add(1)
+			s.metrics.failed.Inc()
+		} else {
+			fset, rset := s.eval(t.Req)
+			t.finish(StatePublished, version, fset, rset, nil)
+			s.published.Add(1)
+			s.metrics.published.Inc()
+		}
+		s.audit(t)
+	}
+}
+
+// rejectionFor maps a wholly-failed batch back onto per-ticket errors:
+// a ticket that was individually rejected gets its own resolution
+// error, everything else the shared batch error.
+func (s *Server) rejectionFor(br core.BatchReport, i int, batchErr error) error {
+	for _, re := range br.Rejected {
+		if re.Index == i {
+			return re.Err
+		}
+	}
+	return batchErr
+}
+
+// eval measures a request's forget/retain accuracy on the system's
+// current model (zeros without an evaluator).
+func (s *Server) eval(req core.Request) (fset, rset float64) {
+	if s.cfg.Evaluator == nil {
+		return 0, 0
+	}
+	return s.cfg.Evaluator.Split(s.sys.Model, req)
+}
+
+// audit mirrors a terminal ticket into the run-ledger audit trail.
+func (s *Server) audit(t *Ticket) {
+	if s.cfg.Telemetry == nil {
+		return
+	}
+	s.cfg.Telemetry.Audit.Append(t.audit())
+}

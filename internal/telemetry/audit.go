@@ -1,0 +1,79 @@
+package telemetry
+
+import "sync"
+
+// AuditEntry is one deletion request's ledger record: who was
+// forgotten, when, in which coalesced batch and published model
+// version, with forget-set (F-Set) and retain-set (R-Set) accuracy
+// measured immediately before and after the unlearning pass. It is the
+// verifiable trail a GDPR deletion pipeline must leave — a reviewer
+// can check that the forget-set accuracy actually collapsed for every
+// honored request ("Verifiably Forgotten?", arXiv 2505.11097).
+type AuditEntry struct {
+	// ID is the serving-layer request ID (unique within the run).
+	ID uint64 `json:"id"`
+	// Stamp is the telemetry-clock completion time (UnixNano).
+	Stamp int64 `json:"stamp_unix_nanos"`
+	// Request is the human-readable request (core.Request.String).
+	Request string `json:"request"`
+	// Kind is the request granularity ("class", "client", "sample").
+	Kind string `json:"kind"`
+	// Batch is the coalesced batch sequence number the request rode in.
+	Batch uint64 `json:"batch"`
+	// Version is the model version published for the batch (0 if the
+	// request failed before a publish).
+	Version uint64 `json:"version,omitempty"`
+	// Status is the terminal lifecycle state: "published" or "failed".
+	Status string `json:"status"`
+	// FsetBefore/FsetAfter bracket the forget-set accuracy across the
+	// pass; unlearning succeeded when After collapsed toward chance.
+	FsetBefore float64 `json:"fset_before"`
+	FsetAfter  float64 `json:"fset_after"`
+	// RsetBefore/RsetAfter bracket the retain-set accuracy; recovery
+	// succeeded when After held near Before.
+	RsetBefore float64 `json:"rset_before"`
+	RsetAfter  float64 `json:"rset_after"`
+	// Err records why a failed request failed.
+	Err string `json:"error,omitempty"`
+}
+
+// AuditLog is an append-only, concurrency-safe record of served
+// deletion requests. BuildManifest folds it into the run ledger, so a
+// daemon's shutdown manifest carries the full audit trail. All methods
+// are nil-receiver-safe, matching the rest of the telemetry handles.
+type AuditLog struct {
+	mu      sync.Mutex
+	entries []AuditEntry
+}
+
+// Append records one entry.
+func (l *AuditLog) Append(e AuditEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, e)
+	l.mu.Unlock()
+}
+
+// Entries returns a copy of the log in append order.
+func (l *AuditLog) Entries() []AuditEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Len returns the number of recorded entries.
+func (l *AuditLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

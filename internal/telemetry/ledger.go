@@ -41,6 +41,10 @@ type Manifest struct {
 	// SeriesTotal is how many points each series ever recorded.
 	SeriesTotal  map[string]uint64 `json:"series_total,omitempty"`
 	RoundLatency LatencySummary    `json:"round_latency"`
+	// Audit is the deletion-request audit trail (one entry per served
+	// forget request, with before/after forget-set accuracy). Empty for
+	// batch tools; quickdropd's shutdown manifest carries the full run.
+	Audit []AuditEntry `json:"audit,omitempty"`
 }
 
 // NewStamp formats the telemetry clock as a filesystem-safe UTC stamp
@@ -121,6 +125,7 @@ func BuildManifest(p *Pipeline, tool string, seed int64, config map[string]strin
 	if an := p.Tracer.Analyze(); an.RoundLatency.Count > 0 {
 		m.RoundLatency = an.RoundLatency
 	}
+	m.Audit = p.Audit.Entries()
 	return m
 }
 

@@ -173,6 +173,10 @@ type Pipeline struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Series   *SeriesStore
+	// Audit is the deletion-request audit trail; the serving layer
+	// appends one entry per forget request and BuildManifest folds the
+	// log into the run ledger.
+	Audit *AuditLog
 
 	// FL substrate.
 	Rounds       *Counter      // quickdrop_fl_rounds_total
@@ -232,6 +236,7 @@ func NewPipeline(reg *Registry, tr *Tracer, clients int) *Pipeline {
 	p := &Pipeline{
 		Registry: reg,
 		Tracer:   tr,
+		Audit:    &AuditLog{},
 
 		Rounds:       reg.Counter("quickdrop_fl_rounds_total", "Completed FedAvg rounds across all phases."),
 		RoundSeconds: reg.Histogram("quickdrop_fl_round_seconds", "FedAvg round wall time in seconds.", nil),

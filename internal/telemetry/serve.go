@@ -19,8 +19,7 @@ type Server struct {
 	srv *http.Server
 }
 
-// Serve starts an HTTP server on addr (e.g. ":9090" or "127.0.0.1:0")
-// exposing:
+// Register mounts the telemetry endpoints on an existing mux:
 //
 //	/metrics     Prometheus text exposition of the pipeline's registry
 //	/dashboard   self-contained live HTML+SVG flight-recorder view
@@ -28,10 +27,11 @@ type Server struct {
 //	/debug/vars  expvar (plus a "quickdrop_spans" variable: span counts)
 //	/debug/pprof net/http/pprof profiles
 //
-// It returns once the listener is bound; requests are served on a
-// background goroutine until Close. The pipeline may be nil or
-// partially populated — every handler degrades to an empty view.
-func Serve(addr string, p *Pipeline) (*Server, error) {
+// Serve uses it on a fresh mux; servers with routes of their own (the
+// quickdropd ops console) mount the same handlers next to theirs. The
+// pipeline may be nil or partially populated — every handler degrades
+// to an empty view.
+func Register(mux *http.ServeMux, p *Pipeline) {
 	var reg *Registry
 	var tr *Tracer
 	if p != nil {
@@ -43,7 +43,6 @@ func Serve(addr string, p *Pipeline) (*Server, error) {
 		}))
 	})
 
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// A write error means the scraper hung up; nothing to report to.
@@ -61,7 +60,14 @@ func Serve(addr string, p *Pipeline) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
+// Serve starts an HTTP server on addr (e.g. ":9090" or "127.0.0.1:0")
+// exposing the Register endpoints. It returns once the listener is
+// bound; requests are served on a background goroutine until Close.
+func Serve(addr string, p *Pipeline) (*Server, error) {
+	mux := http.NewServeMux()
+	Register(mux, p)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
