@@ -73,6 +73,15 @@ type BatchReport struct {
 // batches, and a client-level request excludes classes a preceding
 // class-level request already claimed. A batch of one request is
 // bit-for-bit identical to Unlearn on that request.
+//
+// Error contract: whenever UnlearnBatch returns a non-nil error — a
+// wholly-rejected batch, an SGA-phase failure, or a recovery-phase
+// failure — the forget ledger is restored to its pre-call state, so
+// the same requests can be resubmitted. The MODEL, however, may have
+// been left mid-phase (partially ascended or unrecovered); callers
+// that keep serving afterwards must restore its parameters from a
+// known-good copy (internal/serve rewinds to the last published
+// snapshot) before running another operation.
 func (s *System) UnlearnBatch(reqs []Request) (BatchReport, error) {
 	if err := s.acquire("UnlearnBatch"); err != nil {
 		return BatchReport{}, err
@@ -156,6 +165,12 @@ func (s *System) unlearnBatchLocked(reqs []Request) (BatchReport, error) {
 		Phase:         "recover",
 	}, s.rng)
 	if err != nil {
+		// The model is ascended but not recovered. Restore the ledger so
+		// the failure is retryable end to end — keeping the marks would
+		// reject a resubmission as "already unlearned" even though no
+		// consistent unlearned model was ever produced. The caller owns
+		// restoring the parameters (see the error contract above).
+		s.rollbackMarks(br.Requests)
 		return br, fmt.Errorf("core: recovery phase: %w", err)
 	}
 	br.Recover = eval.Cost{Rounds: rRes.Rounds, WallTime: rRes.WallTime, DataSize: shardSize(retain)}

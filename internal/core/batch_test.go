@@ -165,6 +165,45 @@ func TestUnlearnBatchCoalesced(t *testing.T) {
 	}
 }
 
+// TestUnlearnBatchPhaseFailureRollsBackLedger pins the error
+// contract: whether the SGA or the recovery phase fails, the forget
+// ledger is restored to its pre-call state so the same requests can
+// be resubmitted once the fault is fixed.
+func TestUnlearnBatchPhaseFailureRollsBackLedger(t *testing.T) {
+	sys, _ := trainedSystem(t, 17)
+	goodUnlearnLR, goodRecoverLR := sys.Cfg.Unlearn.LR, sys.Cfg.Recover.LR
+	reqs := []Request{{Kind: ClassLevel, Class: 1}, {Kind: ClassLevel, Class: 2}}
+
+	sys.Cfg.Unlearn.LR = -1 // SGA phase rejects its config
+	if _, err := sys.UnlearnBatch(reqs); err == nil || !strings.Contains(err.Error(), "unlearning phase") {
+		t.Fatalf("got %v, want an unlearning-phase error", err)
+	}
+	if got := sys.RemovedClasses(); len(got) != 0 {
+		t.Fatalf("removed classes %v after SGA failure, want none", got)
+	}
+
+	sys.Cfg.Unlearn.LR = goodUnlearnLR
+	sys.Cfg.Recover.LR = -1 // SGA succeeds, recovery rejects its config
+	if _, err := sys.UnlearnBatch(reqs); err == nil || !strings.Contains(err.Error(), "recovery phase") {
+		t.Fatalf("got %v, want a recovery-phase error", err)
+	}
+	if got := sys.RemovedClasses(); len(got) != 0 {
+		t.Fatalf("removed classes %v after recovery failure, want none", got)
+	}
+
+	// Healed, the SAME batch must execute — no "already unlearned"
+	// rejections left over from the failed attempts.
+	sys.Cfg.Recover.LR = goodRecoverLR
+	br, err := sys.UnlearnBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Requests) != 2 || len(br.Rejected) != 0 {
+		t.Fatalf("accepted %d rejected %d after heal, want 2/0 — rollback must make the failure retryable",
+			len(br.Requests), len(br.Rejected))
+	}
+}
+
 // TestUnlearnBatchAllRejected checks that a batch with no executable
 // request reports an error and leaves the ledger untouched.
 func TestUnlearnBatchAllRejected(t *testing.T) {

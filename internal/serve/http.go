@@ -229,9 +229,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer snap.Release()
 
 	m := s.evalPool.Get().(*nn.Model)
+	// Deferred so a panicking SetParams/Predict (e.g. a misconfigured
+	// ModelFactory's shape mismatch) cannot leak the model from the
+	// pool; reuse always overwrites the params, so returning a model
+	// mid-write is safe.
+	defer s.evalPool.Put(m)
 	m.SetParams(snap.Params())
 	pred := m.Predict(x)
-	s.evalPool.Put(m)
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version":     snap.Version(),

@@ -63,8 +63,11 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *serveMetrics
 
-	wg       sync.WaitGroup
-	stop     chan struct{}
+	wg   sync.WaitGroup
+	stop chan struct{}
+	// life serializes Start and Drain so a Start racing a Drain either
+	// launches the worker before Drain waits, or not at all.
+	life     sync.Mutex
 	started  atomic.Bool
 	draining atomic.Bool
 
@@ -116,10 +119,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the snapshot store (tests and embedding callers).
 func (s *Server) Store() *SnapshotStore { return s.store }
 
-// Start launches the worker. Idempotent; requests enqueued before
-// Start sit in the queue and coalesce into the first batch.
+// Start launches the worker. Idempotent, and a no-op once Drain has
+// begun — the life mutex makes Start/Drain ordering deterministic, so
+// a racing Start can never launch a worker Drain will not wait for.
+// Requests enqueued before Start sit in the queue and coalesce into
+// the first batch.
 func (s *Server) Start() {
-	if !s.started.CompareAndSwap(false, true) {
+	s.life.Lock()
+	defer s.life.Unlock()
+	if s.draining.Load() || !s.started.CompareAndSwap(false, true) {
 		return
 	}
 	s.wg.Add(1)
@@ -127,16 +135,16 @@ func (s *Server) Start() {
 }
 
 // Drain stops accepting new requests, lets the worker finish the
-// backlog (still coalesced), and blocks until it exits. Idempotent.
+// backlog (still coalesced), and blocks until it exits. Idempotent;
+// concurrent callers all block until the worker is done.
 func (s *Server) Drain() {
-	if !s.draining.CompareAndSwap(false, true) {
-		return
+	s.life.Lock()
+	if s.draining.CompareAndSwap(false, true) {
+		s.q.Close()
+		close(s.stop)
 	}
-	s.q.Close()
-	close(s.stop)
-	if s.started.Load() {
-		s.wg.Wait()
-	}
+	s.life.Unlock()
+	s.wg.Wait()
 }
 
 // Stats is the /v1/status payload.
@@ -163,17 +171,21 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// submit registers a ticket and enqueues it.
+// submit enqueues a ticket and, once accepted, registers it in the
+// ticket index. A rejected ticket (queue full or closed) is failed and
+// returned to the caller for the error response but never retained —
+// otherwise an untrusted client hammering a saturated queue would grow
+// the never-pruned index without bound.
 func (s *Server) submit(req core.Request) (*Ticket, error) {
 	t := newTicket(s.nextID.Add(1), req)
-	s.tmu.Lock()
-	s.tickets[t.ID] = t
-	s.order = append(s.order, t.ID)
-	s.tmu.Unlock()
 	if err := s.q.Enqueue(t); err != nil {
 		t.fail(err)
 		return t, err
 	}
+	s.tmu.Lock()
+	s.tickets[t.ID] = t
+	s.order = append(s.order, t.ID)
+	s.tmu.Unlock()
 	s.metrics.queueDepth.Set(float64(s.q.Len()))
 	return t, nil
 }

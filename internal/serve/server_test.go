@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -323,6 +324,117 @@ func TestServerRejectedAndFailedRequests(t *testing.T) {
 	st := s.Stats()
 	if st.Published != 2 || st.Failed != 1 {
 		t.Fatalf("stats published=%d failed=%d, want 2/1", st.Published, st.Failed)
+	}
+}
+
+// TestServerPhaseFailureFailsTicketsAndRestoresModel injects a
+// recovery-phase failure into a coalesced batch and pins the failure
+// contract: every accepted ticket fails with the phase error (the
+// audit trail must NOT record completed deletions), nothing is
+// published, the worker's model is rewound bitwise to the last
+// published snapshot, and — because core rolls the forget ledger back
+// — the same requests succeed once the fault is fixed.
+func TestServerPhaseFailureFailsTicketsAndRestoresModel(t *testing.T) {
+	pipe := telemetry.NewPipeline(telemetry.NewRegistry(), nil, 3)
+	cfg := tinyConfig(99)
+	cfg.Recover.LR = -1 // SGA succeeds, then the recovery phase fails
+	s, ts := newTestServer(t, cfg, Config{Telemetry: pipe})
+
+	_, v1 := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	_, v2 := postForget(t, ts.URL, `{"kind":"class","class":2}`)
+	s.Start()
+	waitTerminal(t, s, v1.ID, v2.ID)
+
+	for _, id := range []uint64{v1.ID, v2.ID} {
+		tk, _ := s.ticket(id)
+		view := tk.View()
+		if view.State != "failed" {
+			t.Fatalf("ticket %d state %q, want failed", id, view.State)
+		}
+		if !strings.Contains(view.Error, "recovery phase") {
+			t.Fatalf("ticket %d error %q, want the recovery-phase error", id, view.Error)
+		}
+		if view.Version != 0 {
+			t.Fatalf("failed ticket %d claims published version %d", id, view.Version)
+		}
+	}
+	if st := s.Stats(); st.Published != 0 || st.Failed != 2 || st.ModelVersion != 1 {
+		t.Fatalf("published=%d failed=%d version=%d, want 0/2/1 (no publish on phase failure)",
+			st.Published, st.Failed, st.ModelVersion)
+	}
+
+	// The worker's in-memory model must match the served snapshot
+	// bitwise — a half-recovered model left in place would silently
+	// poison the next batch.
+	snap := s.Store().Acquire()
+	defer snap.Release()
+	cur := s.sys.Model.CloneParams()
+	for i, p := range snap.Params() {
+		want, got := p.Data(), cur[i].Data()
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("param %d[%d]: model %v != snapshot %v — model not restored after phase failure",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+
+	// The audit trail records the failures, not phantom deletions.
+	entries := pipe.Audit.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("%d audit entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Status != "failed" || e.Err == "" {
+			t.Fatalf("audit entry %+v records a deletion that never completed", e)
+		}
+	}
+
+	// Heal the config and resubmit one of the SAME requests: the
+	// rolled-back ledger must accept it, and it publishes version 2.
+	s.sys.Cfg.Recover.LR = 0.01
+	_, v3 := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	waitTerminal(t, s, v3.ID)
+	tk, _ := s.ticket(v3.ID)
+	if view := tk.View(); view.State != "published" || view.Version != 2 {
+		t.Fatalf("resubmission after heal: %+v, want published at version 2", view)
+	}
+}
+
+// TestServerQueueFullTicketsNotRetained pins the memory bound on the
+// ticket index: submissions bounced at the door (429) are failed and
+// returned to the caller but never registered, so a client hammering
+// a saturated queue cannot grow the daemon without bound.
+func TestServerQueueFullTicketsNotRetained(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(44), Config{QueueCap: 1})
+	// Worker not started: the first post fills the queue, the rest bounce.
+	code, v := postForget(t, ts.URL, `{"kind":"class","class":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first post: status %d, want 202", code)
+	}
+	for i := 0; i < 5; i++ {
+		if code, _ := postForget(t, ts.URL, `{"kind":"class","class":2}`); code != http.StatusTooManyRequests {
+			t.Fatalf("post %d into full queue: status %d, want 429", i, code)
+		}
+	}
+	views := s.views()
+	if len(views) != 1 || views[0].ID != v.ID {
+		t.Fatalf("ticket index holds %d entries, want only the accepted ticket %d", len(views), v.ID)
+	}
+	if _, ok := s.ticket(v.ID + 1); ok {
+		t.Fatal("a 429-rejected ticket was retained in the index")
+	}
+}
+
+// TestServerStartAfterDrainRefuses pins the Start/Drain ordering: a
+// Start issued after Drain must not launch a worker that Drain
+// already decided not to wait for.
+func TestServerStartAfterDrainRefuses(t *testing.T) {
+	s, _ := newTestServer(t, tinyConfig(3), Config{})
+	s.Drain()
+	s.Start()
+	if s.started.Load() {
+		t.Fatal("Start launched a worker after Drain returned")
 	}
 }
 

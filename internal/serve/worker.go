@@ -63,11 +63,27 @@ func (s *Server) runBatch(tickets []*Ticket) {
 		t.setState(StateUnlearning)
 	}
 	br, err := s.sys.UnlearnBatch(reqs)
-	if err != nil && len(br.Requests) == 0 {
-		// Nothing executed — the model is unchanged (phase errors roll
-		// back the forget ledger), so there is no new version to publish.
+	rejected := make(map[int]error, len(br.Rejected))
+	for _, re := range br.Rejected {
+		rejected[re.Index] = re.Err
+	}
+	if err != nil {
+		// No consistent unlearned model exists, so nothing is published
+		// and EVERY ticket fails — individually-rejected ones with their
+		// own resolution error, the rest with the shared batch error. The
+		// forget ledger is already back at its pre-batch state
+		// (UnlearnBatch's error contract); if a phase ran at all the
+		// model may be mid-ascent or unrecovered, so rewind it to the
+		// last published snapshot before the next batch.
+		if len(br.Requests) > 0 {
+			s.restoreModel()
+		}
 		for i, t := range tickets {
-			t.fail(s.rejectionFor(br, i, err))
+			rErr := rejected[i]
+			if rErr == nil {
+				rErr = err
+			}
+			t.fail(rErr)
 			s.audit(t)
 		}
 		s.failed.Add(int64(len(tickets)))
@@ -75,10 +91,6 @@ func (s *Server) runBatch(tickets []*Ticket) {
 		return
 	}
 
-	rejected := make(map[int]error, len(br.Rejected))
-	for _, re := range br.Rejected {
-		rejected[re.Index] = re.Err
-	}
 	for i, t := range tickets {
 		if rejected[i] == nil {
 			t.setState(StateRecovered)
@@ -110,16 +122,17 @@ func (s *Server) runBatch(tickets []*Ticket) {
 	}
 }
 
-// rejectionFor maps a wholly-failed batch back onto per-ticket errors:
-// a ticket that was individually rejected gets its own resolution
-// error, everything else the shared batch error.
-func (s *Server) rejectionFor(br core.BatchReport, i int, batchErr error) error {
-	for _, re := range br.Rejected {
-		if re.Index == i {
-			return re.Err
-		}
+// restoreModel rewinds the worker's in-memory model to the last
+// published snapshot after a failed phase, so the next batch starts
+// from exactly the parameters readers are being served instead of a
+// partially-ascended or half-recovered state.
+func (s *Server) restoreModel() {
+	snap := s.store.Acquire()
+	if snap == nil {
+		return
 	}
-	return batchErr
+	defer snap.Release()
+	s.sys.Model.SetParams(snap.Params())
 }
 
 // eval measures a request's forget/retain accuracy on the system's
