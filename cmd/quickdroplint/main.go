@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quickdroplint [-rules r1,r2] [-list] [patterns ...]
+//	quickdroplint [-rules r1,r2] [-format text|github] [-list] [patterns ...]
 //
 // Patterns are module-root-relative package selectors in the go tool's
 // style: "./..." (everything, the default), "./internal/tensor/..."
@@ -34,8 +34,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("quickdroplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	format := fs.String("format", "text", `output format: "text" or "github" (workflow error annotations)`)
 	list := fs.Bool("list", false, "print the rule catalogue and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(stderr, "quickdroplint: unknown -format %q (want text or github)\n", *format)
 		return 2
 	}
 	if *list {
@@ -80,7 +85,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !matchesAny(rel, patterns) {
 			continue
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		if *format == "github" {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		} else {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
 		n++
 	}
 	if n > 0 {

@@ -51,12 +51,45 @@ func TestRunPatternFiltersFindings(t *testing.T) {
 	}
 }
 
+func TestRunGithubFormat(t *testing.T) {
+	chdir(t, filepath.Join("..", "..", "internal", "lint", "testdata", "src", "errcheck"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "errcheck", "-format", "github", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.HasPrefix(line, "::error file=") || !strings.Contains(line, ",line=") || !strings.Contains(line, "::errcheck: ") {
+			t.Errorf("malformed github annotation: %q", line)
+		}
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "junit"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunResourceRulesCleanOnTree(t *testing.T) {
+	// The real module must stay clean under the resource-lifecycle rule
+	// family; in particular every //lint:resource and //lint:statemachine
+	// directive in the tree must parse (a malformed one is a finding).
+	chdir(t, filepath.Join("..", ".."))
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "resbalance,snapfreeze,statemachine,ctxflow", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; findings:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, rule := range []string{"poolbalance", "intoalias", "hotpathalloc", "determinism", "graphfreeze", "errcheck", "lockbalance", "lockorder", "goroutineleak", "atomicmix", "wgbalance"} {
+	for _, rule := range []string{"poolbalance", "intoalias", "hotpathalloc", "determinism", "graphfreeze", "errcheck", "lockbalance", "lockorder", "goroutineleak", "atomicmix", "wgbalance", "resbalance", "snapfreeze", "statemachine", "ctxflow"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing %s:\n%s", rule, out.String())
 		}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"quickdrop/internal/lint/dataflow"
+)
+
+// CallGraph returns the program-wide static call graph: one node per
+// module function with a body, one edge per statically-resolved call
+// to another module function (calls through function values, interface
+// methods, and out-of-module callees produce no edge — analyzers built
+// on summaries must treat a missing edge as "no modeled effect"). The
+// graph is built once and shared by every analyzer; construction order
+// is package order, file order, declaration order, so node and edge
+// order — and everything derived from them — is deterministic.
+//
+// Calls inside nested function literals are attributed to the
+// enclosing declaration: for bottom-up effect summaries this is the
+// optimistic reading (a deferred closure releasing a resource counts
+// as the function releasing it), which matches the suite's
+// no-false-positive bias.
+func (p *Program) CallGraph() *dataflow.CallGraph[*types.Func] {
+	p.cgOnce.Do(func() {
+		g := dataflow.NewCallGraph[*types.Func]()
+		for _, pkg := range p.Packages {
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok || fn == nil {
+						continue
+					}
+					g.AddNode(fn)
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						callee := calleeFunc(pkg.Info, call)
+						if callee == nil {
+							return true
+						}
+						if _, inModule := p.Decls[callee]; inModule {
+							g.AddEdge(fn, callee)
+						}
+						return true
+					})
+				}
+			}
+		}
+		p.cg = g
+	})
+	return p.cg
+}
+
+// inlineGuard bounds top-down, call-site-driven summary interpretation
+// — the shape evaluator "inlines" callees at their call sites rather
+// than computing bottom-up summaries over the call graph. A shared
+// active set refuses re-entry into a function already being
+// interpreted further up the chain (direct or mutual recursion), and a
+// depth counter caps total inlining depth so pathological call chains
+// stay cheap.
+type inlineGuard struct {
+	active map[*types.Func]bool
+	depth  int
+	limit  int
+}
+
+func newInlineGuard(limit int) *inlineGuard {
+	return &inlineGuard{active: make(map[*types.Func]bool), limit: limit}
+}
+
+// enter attempts to start interpreting fn, reporting false when fn is
+// already on the chain or the depth cap is reached. Every successful
+// enter must be paired with an exit.
+func (g *inlineGuard) enter(fn *types.Func) bool {
+	if g.depth >= g.limit || g.active[fn] {
+		return false
+	}
+	g.active[fn] = true
+	g.depth++
+	return true
+}
+
+// exit leaves fn's interpretation.
+func (g *inlineGuard) exit(fn *types.Func) {
+	delete(g.active, fn)
+	g.depth--
+}

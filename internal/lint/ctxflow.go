@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context.Context discipline:
+//
+//   - ctx is the first parameter of any signature that takes one
+//     (function declarations, literals, named func types, interface
+//     methods);
+//   - ctx is never stored in a struct field — contexts are call-scoped,
+//     and a stored one outlives its cancellation (annotate the field
+//     with //lint:allow ctxflow for the rare deliberate case);
+//   - library code never mints its own root context via
+//     context.Background() or context.TODO(); only binaries (packages
+//     under a cmd/ segment) may, everything else must accept one;
+//   - loops in functions on a //lint:hotpath root's call path that take
+//     a ctx must consult it — a tight loop that ignores its context
+//     cannot be cancelled.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context is first, flows through parameters, and is consulted in hot loops",
+	Run:  runCtxFlow,
+}
+
+func isCtxType(t types.Type) bool {
+	return isNamedIn(t, "Context", "context")
+}
+
+// pathHasSegment reports whether path contains seg as a full segment.
+func pathHasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	inCmd := pathHasSegment(pass.Pkg.Path, "cmd")
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxParamOrder(pass, info, n)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if t := info.TypeOf(field.Type); t != nil && isCtxType(t) {
+						pass.Reportf(field.Pos(), "context.Context stored in a struct field; contexts are call-scoped — pass ctx as a parameter")
+					}
+				}
+			case *ast.CallExpr:
+				if inCmd {
+					return true
+				}
+				if fn := calleeFunc(info, n); fn != nil && funcPkgPath(fn) == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(n.Pos(), "context.%s in library code; accept a ctx parameter from the caller instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	checkHotLoops(pass)
+}
+
+// checkCtxParamOrder reports context parameters that are not first.
+func checkCtxParamOrder(pass *Pass, info *types.Info, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := info.TypeOf(field.Type); t != nil && isCtxType(t) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+// checkHotLoops verifies that hot-path functions taking a ctx consult
+// it in every outermost loop.
+func checkHotLoops(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, fd := range hotReachable(pass) {
+		ctxObjs := ctxParams(info, fd)
+		if len(ctxObjs) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			if !mentionsAny(info, body, ctxObjs) {
+				pass.Reportf(n.Pos(), "loop on a //lint:hotpath call path never consults its context; check ctx.Err() or ctx.Done() so cancellation can stop it")
+			}
+			return false // inner loops inherit the outer check
+		})
+	}
+}
+
+// ctxParams returns the context-typed parameter objects of fd.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := identObj(info, name); obj != nil && isCtxType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// mentionsAny reports whether any identifier in n resolves to one of
+// the given objects (mentions inside nested literals count: handing
+// ctx to a worker is consulting it).
+func mentionsAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := identObj(info, id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

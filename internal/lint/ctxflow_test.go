@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, CtxFlow)
+}

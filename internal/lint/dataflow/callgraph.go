@@ -1,0 +1,114 @@
+package dataflow
+
+// CallGraph is a static call graph over an arbitrary comparable node
+// type. The lint package instantiates it with *types.Func, but the
+// graph itself is type-oblivious, like the CFG builder: analyzers
+// decide what a node is and which calls produce edges.
+//
+// Nodes and edges keep insertion order, so every traversal — and any
+// diagnostic derived from one — is a deterministic run over
+// deterministic input order.
+type CallGraph[N comparable] struct {
+	nodes []N
+	index map[N]int
+	succs map[N][]N
+	edge  map[edgeKey[N]]bool
+}
+
+type edgeKey[N comparable] struct{ from, to N }
+
+// NewCallGraph returns an empty call graph.
+func NewCallGraph[N comparable]() *CallGraph[N] {
+	return &CallGraph[N]{
+		index: make(map[N]int),
+		succs: make(map[N][]N),
+		edge:  make(map[edgeKey[N]]bool),
+	}
+}
+
+// AddNode registers n. Idempotent.
+func (g *CallGraph[N]) AddNode(n N) {
+	if _, ok := g.index[n]; ok {
+		return
+	}
+	g.index[n] = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+}
+
+// AddEdge records a call from caller to callee, registering both
+// endpoints. Duplicate edges are dropped.
+func (g *CallGraph[N]) AddEdge(from, to N) {
+	g.AddNode(from)
+	g.AddNode(to)
+	k := edgeKey[N]{from, to}
+	if g.edge[k] {
+		return
+	}
+	g.edge[k] = true
+	g.succs[from] = append(g.succs[from], to)
+}
+
+// Nodes returns every node in insertion order. The slice is shared;
+// callers must not mutate it.
+func (g *CallGraph[N]) Nodes() []N { return g.nodes }
+
+// Callees returns n's direct callees in first-call order. The slice is
+// shared; callers must not mutate it.
+func (g *CallGraph[N]) Callees(n N) []N { return g.succs[n] }
+
+// HasEdge reports whether a from→to call was recorded.
+func (g *CallGraph[N]) HasEdge(from, to N) bool { return g.edge[edgeKey[N]{from, to}] }
+
+// SCCs returns the strongly connected components in reverse
+// topological order of the condensation: every component is emitted
+// after every component it calls into. That is exactly the order a
+// bottom-up summary computation wants — callees settle before their
+// callers — and Tarjan's algorithm emits components in this order for
+// free.
+func (g *CallGraph[N]) SCCs() [][]N {
+	var (
+		comps   [][]N
+		idx     = make(map[N]int, len(g.nodes))
+		low     = make(map[N]int, len(g.nodes))
+		onStack = make(map[N]bool, len(g.nodes))
+		stack   []N
+		next    int
+	)
+	var strong func(n N)
+	strong = func(n N) {
+		idx[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range g.succs[n] {
+			if _, seen := idx[m]; !seen {
+				strong(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && idx[m] < low[n] {
+				low[n] = idx[m]
+			}
+		}
+		if low[n] == idx[n] {
+			var comp []N
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range g.nodes {
+		if _, seen := idx[n]; !seen {
+			strong(n)
+		}
+	}
+	return comps
+}

@@ -1,0 +1,127 @@
+package dataflow
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestCallGraphDedupAndOrder(t *testing.T) {
+	g := NewCallGraph[string]()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("a", "b") // duplicate
+	g.AddNode("a")      // duplicate
+	g.AddNode("d")
+	if got, want := g.Nodes(), []string{"a", "b", "c", "d"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Nodes() = %v, want %v", got, want)
+	}
+	if got, want := g.Callees("a"), []string{"b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Callees(a) = %v, want %v", got, want)
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("HasEdge is wrong about a->b or b->a")
+	}
+}
+
+// TestSCCsBottomUp pins the property FixSummaries depends on: a
+// component is emitted only after every component it calls into.
+func TestSCCsBottomUp(t *testing.T) {
+	// main -> helperA -> leaf
+	// main -> cycle1 <-> cycle2 -> leaf
+	g := NewCallGraph[string]()
+	g.AddEdge("main", "helperA")
+	g.AddEdge("helperA", "leaf")
+	g.AddEdge("main", "cycle1")
+	g.AddEdge("cycle1", "cycle2")
+	g.AddEdge("cycle2", "cycle1")
+	g.AddEdge("cycle2", "leaf")
+
+	comps := g.SCCs()
+	pos := make(map[string]int)
+	for i, comp := range comps {
+		sort.Strings(comp)
+		for _, n := range comp {
+			pos[n] = i
+		}
+	}
+	if len(comps) != 4 {
+		t.Fatalf("got %d components %v, want 4", len(comps), comps)
+	}
+	if pos["cycle1"] != pos["cycle2"] {
+		t.Errorf("cycle1 and cycle2 should share a component: %v", comps)
+	}
+	for _, before := range []struct{ callee, caller string }{
+		{"leaf", "helperA"}, {"helperA", "main"}, {"cycle1", "main"}, {"leaf", "cycle1"},
+	} {
+		if pos[before.callee] >= pos[before.caller] {
+			t.Errorf("component of %s (index %d) should precede %s (index %d): %v",
+				before.callee, pos[before.callee], before.caller, pos[before.caller], comps)
+		}
+	}
+}
+
+// reachability is the simplest interesting summary: the set of nodes
+// transitively callable. Through a cycle both members must converge on
+// the same closure.
+func TestFixSummariesReachability(t *testing.T) {
+	g := NewCallGraph[string]()
+	g.AddEdge("main", "a")
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a") // recursion
+	g.AddEdge("b", "leaf")
+
+	sums := FixSummaries(g, SummaryAnalysis[string, map[string]bool]{
+		Bottom: func(string) map[string]bool { return map[string]bool{} },
+		Transfer: func(n string, get func(string) map[string]bool) map[string]bool {
+			out := map[string]bool{}
+			for _, c := range g.Callees(n) {
+				out[c] = true
+				for k := range get(c) {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool { return reflect.DeepEqual(a, b) },
+	})
+
+	want := map[string]map[string]bool{
+		"leaf": {},
+		"a":    {"a": true, "b": true, "leaf": true},
+		"b":    {"a": true, "b": true, "leaf": true},
+		"main": {"a": true, "b": true, "leaf": true},
+	}
+	for n, w := range want {
+		if !reflect.DeepEqual(sums[n], w) {
+			t.Errorf("summary[%s] = %v, want %v", n, sums[n], w)
+		}
+	}
+}
+
+// A self-loop is a cyclic component of size one and must still iterate
+// to a fixpoint rather than take the single-Transfer fast path.
+func TestFixSummariesSelfLoop(t *testing.T) {
+	g := NewCallGraph[string]()
+	g.AddEdge("rec", "rec")
+	g.AddEdge("rec", "leaf")
+	sums := FixSummaries(g, SummaryAnalysis[string, int]{
+		// Summary: number of distinct callees reachable, computed the
+		// roundabout way (max over callees + own fanout) to force a
+		// second sweep on the self-loop.
+		Bottom: func(string) int { return 0 },
+		Transfer: func(n string, get func(string) int) int {
+			v := len(g.Callees(n))
+			for _, c := range g.Callees(n) {
+				if s := get(c); s > v {
+					v = s
+				}
+			}
+			return v
+		},
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if sums["rec"] != 2 || sums["leaf"] != 0 {
+		t.Errorf("sums = %v, want rec:2 leaf:0", sums)
+	}
+}

@@ -71,6 +71,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
+		CtxFlow,
 		Determinism,
 		ErrCheck,
 		GoroutineLeak,
@@ -80,7 +81,10 @@ func All() []*Analyzer {
 		LockBalance,
 		LockOrder,
 		PoolBalance,
+		ResBalance,
 		Shapecheck,
+		SnapFreeze,
+		StateMachine,
 		Telemetry,
 		VJPShape,
 		WGBalance,

@@ -10,8 +10,8 @@ func TestByName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 14 {
-		t.Fatalf("suite has %d analyzers, want 14", len(all))
+	if len(all) != 18 {
+		t.Fatalf("suite has %d analyzers, want 18", len(all))
 	}
 
 	subset, err := ByName("errcheck, poolbalance")

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"quickdrop/internal/lint/dataflow"
 )
 
 // Package is one type-checked package of the analyzed module.
@@ -45,6 +47,11 @@ type Program struct {
 	// Decls maps a function object to its declaration, across all
 	// packages — the cross-package fact base for contract lookups.
 	Decls map[*types.Func]FuncInfo
+
+	// cgOnce/cg cache the program-wide static call graph (built lazily
+	// by CallGraph in callgraph.go; analyzers share one build).
+	cgOnce sync.Once
+	cg     *dataflow.CallGraph[*types.Func]
 }
 
 // sharedFset is the file set shared by every load in the process, so

@@ -213,10 +213,10 @@ func runLockOrder(pass *Pass) {
 	}
 
 	lo := &lockOrder{
-		pass:    pass,
-		graph:   newLockGraph(),
-		direct:  make(map[*types.Func]map[string]bool),
-		callees: make(map[*types.Func][]*types.Func),
+		pass:   pass,
+		graph:  newLockGraph(),
+		direct: make(map[*types.Func]map[string]bool),
+		cg:     dataflow.NewCallGraph[*types.Func](),
 	}
 
 	// Phase 1: per-function syntactic summaries (direct acquisitions and
@@ -276,11 +276,12 @@ type lockOrder struct {
 	graph     *lockGraph
 	selfEdges []*lockEdge
 	// direct maps each declared function to the lock classes it
-	// acquires in its own body; callees lists its statically resolved
-	// called functions. all is the transitive closure.
-	direct  map[*types.Func]map[string]bool
-	callees map[*types.Func][]*types.Func
-	all     map[*types.Func]map[string]bool
+	// acquires in its own body; cg holds its statically resolved call
+	// edges (goroutine payloads excluded — see summarize); all is the
+	// transitive closure computed bottom-up over cg.
+	direct map[*types.Func]map[string]bool
+	cg     *dataflow.CallGraph[*types.Func]
+	all    map[*types.Func]map[string]bool
 }
 
 // summarize records fn's direct acquisitions and callees. Goroutine
@@ -289,6 +290,7 @@ type lockOrder struct {
 // critical section — but deferred and nested-literal code is included:
 // both run on this goroutine.
 func (lo *lockOrder) summarize(pkg *Package, fn *types.Func, fd *ast.FuncDecl) {
+	lo.cg.AddNode(fn)
 	acq := make(map[string]bool)
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
@@ -307,7 +309,7 @@ func (lo *lockOrder) summarize(pkg *Package, fn *types.Func, fd *ast.FuncDecl) {
 				}
 				if callee := calleeFunc(pkg.Info, x); callee != nil {
 					if _, known := lo.pass.Prog.Decls[callee]; known {
-						lo.callees[fn] = append(lo.callees[fn], callee)
+						lo.cg.AddEdge(fn, callee)
 					}
 				}
 				return true
@@ -319,31 +321,44 @@ func (lo *lockOrder) summarize(pkg *Package, fn *types.Func, fd *ast.FuncDecl) {
 	lo.direct[fn] = acq
 }
 
-// closeSummaries computes the transitive acquisition sets to a
-// fixpoint (cycles in the call graph converge because sets only grow).
+// closeSummaries computes the transitive acquisition sets bottom-up
+// over the lock-specific call graph: the summary lattice is a set of
+// lock classes, the transfer is "my direct acquisitions plus whatever
+// my callees transitively acquire", and recursion converges because
+// sets only grow.
 func (lo *lockOrder) closeSummaries() {
-	lo.all = make(map[*types.Func]map[string]bool, len(lo.direct))
-	for fn, d := range lo.direct {
-		s := make(map[string]bool, len(d))
-		for c := range d {
-			s[c] = true
-		}
-		lo.all[fn] = s
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, cs := range lo.callees {
-			s := lo.all[fn]
-			for _, callee := range cs {
-				for c := range lo.all[callee] {
-					if !s[c] {
-						s[c] = true
-						changed = true
-					}
+	lo.all = dataflow.FixSummaries(lo.cg, dataflow.SummaryAnalysis[*types.Func, map[string]bool]{
+		Bottom: func(fn *types.Func) map[string]bool {
+			s := make(map[string]bool, len(lo.direct[fn]))
+			for c := range lo.direct[fn] {
+				s[c] = true
+			}
+			return s
+		},
+		Transfer: func(fn *types.Func, get func(*types.Func) map[string]bool) map[string]bool {
+			s := make(map[string]bool, len(lo.direct[fn]))
+			for c := range lo.direct[fn] {
+				s[c] = true
+			}
+			for _, callee := range lo.cg.Callees(fn) {
+				for c := range get(callee) {
+					s[c] = true
 				}
 			}
-		}
-	}
+			return s
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for c := range a {
+				if !b[c] {
+					return false
+				}
+			}
+			return true
+		},
+	})
 }
 
 // analyzeUnit runs the held-set flow over one unit and emits edges.

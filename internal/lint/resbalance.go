@@ -1,0 +1,893 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"quickdrop/internal/lint/dataflow"
+)
+
+// ResBalance is the contract-declared generalization of poolbalance:
+// any API can mark itself with //lint:resource directives (see
+// resource.go for the grammar), and every function that binds an
+// acquiring call's result must discharge the obligation on every CFG
+// path — by a releasing call mentioning the value (deferred releases
+// fold into every exit), by passing it to a transfer-contract call, or
+// by returning it (ownership moves to the caller).
+//
+// The analysis is interprocedural in both directions. Bottom-up
+// summaries over the program call graph (dataflow.FixSummaries) extend
+// the contract surface through helpers: a function returning an
+// acquirer's result is itself an acquirer, and a helper that releases
+// its parameter discharges the caller's obligation at the call site.
+// On top of the summaries, each function body runs the same
+// two-layer check as poolbalance — a syntactic layer that finds
+// acquisitions, discarded results and custody transfers the flow
+// domain cannot model (which degrade to silence, never to false
+// positives), then a flow-sensitive {nil, held, released} powerset
+// walk over the CFG with nil-comparison refinement. Leaks are
+// reported at the acquisition site; paths that leave by panicking are
+// exempt.
+var ResBalance = &Analyzer{
+	Name: "resbalance",
+	Doc:  "contract-declared resource acquisitions must be released on every path",
+	Run:  runResBalance,
+}
+
+// resSummary is one function's interprocedural resource effect.
+type resSummary struct {
+	// acquires holds the classes the function's results may carry,
+	// owed to the caller: contract-declared, or derived from returning
+	// another acquirer's result.
+	acquires map[string]bool
+	// releases maps parameter positions (receiver = -1) to the classes
+	// discharged for a value passed there — directly by contract, or
+	// transitively through helper calls.
+	releases map[int]map[string]bool
+}
+
+func (s resSummary) clone() resSummary {
+	out := resSummary{}
+	if s.acquires != nil {
+		out.acquires = make(map[string]bool, len(s.acquires))
+		for k, v := range s.acquires {
+			out.acquires[k] = v
+		}
+	}
+	if s.releases != nil {
+		out.releases = make(map[int]map[string]bool, len(s.releases))
+		for i, cs := range s.releases {
+			m := make(map[string]bool, len(cs))
+			for k, v := range cs {
+				m[k] = v
+			}
+			out.releases[i] = m
+		}
+	}
+	return out
+}
+
+func (s *resSummary) addAcquires(classes map[string]bool) {
+	if len(classes) == 0 {
+		return
+	}
+	if s.acquires == nil {
+		s.acquires = make(map[string]bool)
+	}
+	for c := range classes {
+		s.acquires[c] = true
+	}
+}
+
+func (s *resSummary) addReleases(pos int, classes map[string]bool) {
+	if len(classes) == 0 {
+		return
+	}
+	if s.releases == nil {
+		s.releases = make(map[int]map[string]bool)
+	}
+	if s.releases[pos] == nil {
+		s.releases[pos] = make(map[string]bool)
+	}
+	for c := range classes {
+		s.releases[pos][c] = true
+	}
+}
+
+func eqStringSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqResSummary(a, b resSummary) bool {
+	if !eqStringSet(a.acquires, b.acquires) || len(a.releases) != len(b.releases) {
+		return false
+	}
+	for i, cs := range a.releases {
+		if !eqStringSet(cs, b.releases[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachCallArgPos yields (position, expr) pairs for a call: the
+// method receiver at -1, then each argument at its parameter position
+// (extra variadic arguments all map to the last parameter).
+func forEachCallArgPos(call *ast.CallExpr, callee *types.Func, f func(pos int, arg ast.Expr)) {
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			f(-1, sel.X)
+		}
+	}
+	np := 0
+	if sig != nil {
+		np = sig.Params().Len()
+	}
+	for i, arg := range call.Args {
+		pos := i
+		if np > 0 && i >= np {
+			pos = np - 1
+		}
+		f(pos, arg)
+	}
+}
+
+func runResBalance(pass *Pass) {
+	// Whole-program rule: run once, from the first loaded package.
+	if len(pass.Prog.Packages) == 0 || pass.Pkg != pass.Prog.Packages[0] {
+		return
+	}
+	rb := &resBalance{pass: pass, rc: parseResourceContracts(pass)}
+	if !rb.rc.any() {
+		return
+	}
+	rb.sums = dataflow.FixSummaries(pass.Prog.CallGraph(), dataflow.SummaryAnalysis[*types.Func, resSummary]{
+		Bottom:   rb.base,
+		Transfer: rb.transferSummary,
+		Equal:    eqResSummary,
+	})
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			funcUnits(f, func(body *ast.BlockStmt, _ string) {
+				rb.checkUnit(pkg, body)
+			})
+		}
+	}
+}
+
+type resBalance struct {
+	pass *Pass
+	rc   *resourceContracts
+	sums map[*types.Func]resSummary
+}
+
+// base is a function's contract-declared effect, before any
+// derivation: the Bottom of the summary lattice.
+func (rb *resBalance) base(fn *types.Func) resSummary {
+	s := resSummary{}
+	if class, ok := rb.rc.acquire[fn]; ok {
+		s.addAcquires(map[string]bool{class: true})
+	}
+	class, ok := rb.rc.release[fn]
+	if !ok {
+		class, ok = rb.rc.transfer[fn]
+	}
+	if ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil {
+			if sig.Recv() != nil {
+				s.addReleases(-1, map[string]bool{class: true})
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				s.addReleases(i, map[string]bool{class: true})
+			}
+		}
+	}
+	return s
+}
+
+// summary returns the computed summary for fn (contract-only for
+// functions outside the call graph), or a zero summary for nil.
+func (rb *resBalance) summary(fn *types.Func) resSummary {
+	if fn == nil {
+		return resSummary{}
+	}
+	if s, ok := rb.sums[fn]; ok {
+		return s
+	}
+	return rb.base(fn)
+}
+
+// transferSummary derives fn's effect from its body plus its callees'
+// current summaries: releasing a parameter through a helper extends
+// releases, and returning an acquirer's result (directly or through a
+// local) extends acquires. The walk spans nested literals and deferred
+// calls — the optimistic reading for a balance obligation.
+func (rb *resBalance) transferSummary(fn *types.Func, get func(*types.Func) resSummary) resSummary {
+	out := rb.base(fn).clone()
+	fi, ok := rb.pass.Prog.Decls[fn]
+	if !ok || fi.Decl.Body == nil {
+		return out
+	}
+	info := fi.Pkg.Info
+	params := paramIndexMap(info, fi.Decl)
+
+	acquired := make(map[types.Object]map[string]bool)
+	bind := func(lhs, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		acq := get(calleeFunc(info, call)).acquires
+		if len(acq) == 0 {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := identObj(info, id); obj != nil {
+			if acquired[obj] == nil {
+				acquired[obj] = make(map[string]bool)
+			}
+			for c := range acq {
+				acquired[obj][c] = true
+			}
+		}
+	}
+	var retObjs []types.Object
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			cs := get(callee)
+			if len(cs.releases) == 0 {
+				return true
+			}
+			forEachCallArgPos(n, callee, func(pos int, arg ast.Expr) {
+				classes := cs.releases[pos]
+				if len(classes) == 0 {
+					return
+				}
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					return
+				}
+				if obj := identObj(info, id); obj != nil {
+					if pi, isParam := params[obj]; isParam {
+						out.addReleases(pi, classes)
+					}
+				}
+			})
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					bind(n.Names[i], v)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch r := ast.Unparen(res).(type) {
+				case *ast.CallExpr:
+					out.addAcquires(get(calleeFunc(info, r)).acquires)
+				case *ast.Ident:
+					if obj := identObj(info, r); obj != nil {
+						retObjs = append(retObjs, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range retObjs {
+		out.addAcquires(acquired[obj])
+	}
+	return out
+}
+
+// paramIndexMap maps a declaration's receiver (-1) and parameter
+// objects to their signature positions.
+func paramIndexMap(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := identObj(info, name); obj != nil {
+					out[obj] = -1
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := identObj(info, name); obj != nil {
+					out[obj] = i
+				}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// resBorrow tracks one variable bound to an acquiring call's result.
+type resBorrow struct {
+	pos      token.Pos
+	classes  map[string]bool
+	released bool // some releasing call mentions the variable
+	returned bool // some return hands the variable to the caller
+	dropped  bool // custody left the modeled domain (alias, store, …)
+}
+
+func (b *resBorrow) className() string {
+	names := make([]string, 0, len(b.classes))
+	for c := range b.classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}
+
+// releaseClasses returns the classes the call discharges for arg at
+// pos, or nil.
+func (rb *resBalance) releaseClasses(info *types.Info, call *ast.CallExpr) map[ast.Expr]map[string]bool {
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return nil
+	}
+	cs := rb.summary(callee)
+	if len(cs.releases) == 0 {
+		return nil
+	}
+	out := make(map[ast.Expr]map[string]bool)
+	forEachCallArgPos(call, callee, func(pos int, arg ast.Expr) {
+		if classes := cs.releases[pos]; len(classes) > 0 {
+			out[arg] = classes
+		}
+	})
+	return out
+}
+
+func intersects(a, b map[string]bool) bool {
+	for c := range a {
+		if b[c] {
+			return true
+		}
+	}
+	return false
+}
+
+func (rb *resBalance) checkUnit(pkg *Package, body *ast.BlockStmt) {
+	info := pkg.Info
+	borrows := make(map[types.Object]*resBorrow)
+
+	acquiresOf := func(rhs ast.Expr) (map[string]bool, *ast.CallExpr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		acq := rb.summary(calleeFunc(info, call)).acquires
+		if len(acq) == 0 {
+			return nil, nil
+		}
+		return acq, call
+	}
+	bind := func(lhs ast.Expr, classes map[string]bool, call *ast.CallExpr) {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				rb.pass.Reportf(call.Pos(),
+					"result of %s is an acquired %s that is discarded; it can never be released",
+					callName(info, call), classSetName(classes))
+				return
+			}
+			if obj := identObj(info, lhs); obj != nil {
+				if _, ok := borrows[obj]; !ok {
+					borrows[obj] = &resBorrow{pos: call.Pos(), classes: classes}
+				}
+			}
+		default:
+			// Index/field stores hand custody to a structure the flow
+			// domain does not model; stay silent rather than guess.
+		}
+	}
+
+	// Syntactic layer, pass 1: acquisitions. A bare acquiring call whose
+	// result is not bound at all is an immediate leak.
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, rhs := range n.Rhs {
+				if classes, call := acquiresOf(rhs); call != nil {
+					bind(n.Lhs[i], classes, call)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if classes, call := acquiresOf(v); call != nil && i < len(n.Names) {
+					bind(n.Names[i], classes, call)
+				}
+			}
+		case *ast.ExprStmt:
+			if classes, call := acquiresOf(n.X); call != nil {
+				rb.pass.Reportf(call.Pos(),
+					"result of %s is an acquired %s that is discarded; it can never be released",
+					callName(info, call), classSetName(classes))
+			}
+		}
+	})
+	if len(borrows) == 0 {
+		return
+	}
+
+	// Syntactic layer, pass 2: releases (positional, class-matched) and
+	// custody transfers out of the modeled domain. Releases inside
+	// nested literals count — a deferred closure releasing the value is
+	// the idiom — as do returns anywhere in the unit.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			rel := rb.releaseClasses(info, n)
+			callee := calleeFunc(info, n)
+			argDrops := func(arg ast.Expr, receiver bool) {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := identObj(info, id)
+				if obj == nil {
+					return
+				}
+				b, tracked := borrows[obj]
+				if !tracked {
+					return
+				}
+				if intersects(rel[arg], b.classes) {
+					b.released = true
+					return
+				}
+				// A method call on the value reads it; an argument
+				// position without a release hands custody somewhere the
+				// analysis cannot follow.
+				if !receiver {
+					b.dropped = true
+				}
+			}
+			if callee != nil {
+				forEachCallArgPos(n, callee, func(pos int, arg ast.Expr) {
+					argDrops(arg, pos == -1)
+				})
+			} else {
+				for _, arg := range n.Args {
+					argDrops(arg, false)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := identObj(info, id); obj != nil {
+						if b, tracked := borrows[obj]; tracked {
+							b.returned = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Aliasing the value (x := h, s.f = h) leaves the domain.
+			for _, rhs := range n.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if obj := identObj(info, id); obj != nil {
+						if b, tracked := borrows[obj]; tracked {
+							b.dropped = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markIdentDrop(info, n.X, borrows)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				markIdentDrop(info, el, borrows)
+			}
+		case *ast.SendStmt:
+			markIdentDrop(info, n.Value, borrows)
+		}
+		return true
+	})
+
+	tracked := make(map[types.Object]*resBorrow)
+	for obj, b := range borrows {
+		if b.dropped {
+			continue
+		}
+		if !b.released && !b.returned {
+			rb.pass.Reportf(b.pos,
+				"acquired %s has no matching release in this function (declared by //lint:resource)", b.className())
+			continue
+		}
+		tracked[obj] = b
+	}
+	if len(tracked) > 0 {
+		rf := &resFlow{rb: rb, info: info, tracked: tracked}
+		rf.run(body)
+	}
+}
+
+// markIdentDrop drops a directly-mentioned tracked value from the
+// modeled domain.
+func markIdentDrop(info *types.Info, expr ast.Expr, borrows map[types.Object]*resBorrow) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := identObj(info, id); obj != nil {
+		if b, tracked := borrows[obj]; tracked {
+			b.dropped = true
+		}
+	}
+}
+
+// callName renders the callee for diagnostics.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := recvNamed(fn); recv != nil {
+			return recv.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "the call"
+}
+
+func classSetName(classes map[string]bool) string {
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}
+
+// resState is the per-variable powerset state of the flow layer; the
+// zero value means "unknown" and silences every check for the value.
+type resState uint8
+
+const (
+	resNil      resState = 1 << iota // provably nil on this path
+	resHeld                          // holds an unreleased acquisition
+	resReleased                      // has been released (or returned)
+)
+
+type resFact map[types.Object]resState
+
+func (f resFact) clone() resFact {
+	out := make(resFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func joinResFact(a, b resFact) resFact {
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func eqResFact(a, b resFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// resFlow is the flow-sensitive layer over one unit, shaped exactly
+// like poolbalance's: a silent fixpoint, a reporting replay, then the
+// leak check at every non-panicking exit with deferred releases folded
+// in.
+type resFlow struct {
+	rb        *resBalance
+	info      *types.Info
+	tracked   map[types.Object]*resBorrow
+	reporting bool
+	seen      map[token.Pos]map[string]bool
+}
+
+func (rf *resFlow) report(pos token.Pos, msg string) {
+	if !rf.reporting {
+		return
+	}
+	if rf.seen[pos] == nil {
+		rf.seen[pos] = make(map[string]bool)
+	}
+	if rf.seen[pos][msg] {
+		return
+	}
+	rf.seen[pos][msg] = true
+	rf.rb.pass.Reportf(pos, "%s", msg)
+}
+
+func (rf *resFlow) run(body *ast.BlockStmt) {
+	g := dataflow.NewFromBlock(body, func(call *ast.CallExpr) bool {
+		return isBuiltinPanic(rf.info, call)
+	})
+	if g == nil {
+		return
+	}
+	an := dataflow.Analysis[resFact]{
+		Init:   resFact{},
+		Join:   joinResFact,
+		Equal:  eqResFact,
+		Stmt:   rf.transfer,
+		Refine: rf.refine,
+	}
+	res := dataflow.Forward(g, an)
+
+	rf.reporting = true
+	rf.seen = make(map[token.Pos]map[string]bool)
+	for _, blk := range g.Blocks {
+		in, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		f := in
+		for _, n := range blk.Stmts {
+			f = rf.transfer(n, f)
+		}
+	}
+	rf.reporting = false
+
+	panicking := make(map[*dataflow.Block]bool)
+	for _, blk := range g.PanicExits {
+		panicking[blk] = true
+	}
+	target := g.Exit
+	if g.Defers != nil {
+		target = g.Defers
+	}
+	leaked := make(map[types.Object]bool)
+	for _, blk := range uniqueBlocks(target.Preds) {
+		if panicking[blk] {
+			continue
+		}
+		f, ok := res.Out(blk, an)
+		if !ok {
+			continue
+		}
+		if g.Defers != nil {
+			for _, n := range g.Defers.Stmts {
+				f = rf.transfer(n, f)
+			}
+		}
+		for obj, st := range f {
+			if st&resHeld != 0 {
+				leaked[obj] = true
+			}
+		}
+	}
+	for obj := range leaked {
+		b := rf.tracked[obj]
+		rf.rb.pass.Reportf(b.pos,
+			"acquired %s is not released on every path; a branch or early return leaks it", b.className())
+	}
+}
+
+func (rf *resFlow) transfer(n ast.Node, in resFact) resFact {
+	out := in
+	cloned := false
+	set := func(obj types.Object, st resState) {
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+		out[obj] = st
+	}
+	get := func(obj types.Object) resState { return out[obj] }
+
+	var walk func(n ast.Node, insideDefer bool)
+	walk = func(n ast.Node, insideDefer bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return insideDefer
+			case *ast.DeferStmt:
+				return false // registration point; runs on the defers block
+			case *ast.RangeStmt:
+				walk(x.X, insideDefer)
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if e == nil {
+						continue
+					}
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+						if obj := identObj(rf.info, id); obj != nil {
+							if _, tr := rf.tracked[obj]; tr {
+								set(obj, 0)
+							}
+						}
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Rhs {
+						rf.assign(x.Lhs[i], x.Rhs[i], get, set)
+					}
+				}
+				return true
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+						if obj := identObj(rf.info, id); obj != nil {
+							if _, tr := rf.tracked[obj]; tr {
+								set(obj, resReleased) // ownership moves out
+							}
+						}
+					}
+				}
+				return true
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					obj := identObj(rf.info, name)
+					if obj == nil {
+						continue
+					}
+					if _, tr := rf.tracked[obj]; !tr {
+						continue
+					}
+					if i < len(x.Values) {
+						rf.assign(name, x.Values[i], get, set)
+					} else {
+						set(obj, resNil) // var h *Handle
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				for arg, classes := range rf.rb.releaseClasses(rf.info, x) {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := identObj(rf.info, id)
+					if obj == nil {
+						continue
+					}
+					b, tr := rf.tracked[obj]
+					if !tr || !intersects(classes, b.classes) {
+						continue
+					}
+					if get(obj) == resReleased {
+						rf.report(x.Pos(), "acquired "+b.className()+" is released twice on this path")
+					}
+					set(obj, resReleased)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	switch s := n.(type) {
+	case *dataflow.DeferRun:
+		walk(s.D.Call, true)
+	default:
+		walk(n, false)
+	}
+	return out
+}
+
+func (rf *resFlow) assign(lhs, rhs ast.Expr, get func(types.Object) resState, set func(types.Object, resState)) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := identObj(rf.info, id)
+	if obj == nil {
+		return
+	}
+	b, isTracked := rf.tracked[obj]
+	if !isTracked {
+		return
+	}
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if acq := rf.rb.summary(calleeFunc(rf.info, call)).acquires; intersects(acq, b.classes) {
+			if get(obj)&resHeld != 0 {
+				rf.report(call.Pos(), "acquire overwrites a still-held "+b.className()+"; the previous one can never be released")
+			}
+			// An acquirer may legitimately return nil ("nothing to
+			// acquire yet" — SnapshotStore.Acquire before the first
+			// publish), so the post-state is held-or-nil: the value must
+			// be discharged where it may be held, and a nil-comparison
+			// refines the branches rather than pruning one.
+			set(obj, resHeld|resNil)
+			return
+		}
+	}
+	if nid, ok := ast.Unparen(rhs).(*ast.Ident); ok && nid.Name == "nil" {
+		if _, isNil := rf.info.Uses[nid].(*types.Nil); isNil {
+			set(obj, resNil)
+			return
+		}
+	}
+	set(obj, 0) // rebound to something unmodeled
+}
+
+func (rf *resFlow) refine(cond ast.Expr, neg bool, in resFact) (resFact, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return in, true
+	}
+	var id *ast.Ident
+	if x, ok := ast.Unparen(be.X).(*ast.Ident); ok && isNilIdent(rf.info, be.Y) {
+		id = x
+	} else if y, ok := ast.Unparen(be.Y).(*ast.Ident); ok && isNilIdent(rf.info, be.X) {
+		id = y
+	}
+	if id == nil {
+		return in, true
+	}
+	obj := identObj(rf.info, id)
+	if obj == nil {
+		return in, true
+	}
+	st, tracked := in[obj]
+	if !tracked || st == 0 {
+		return in, true
+	}
+	nilEdge := (be.Op == token.EQL) != neg
+	if nilEdge {
+		if st&resNil == 0 {
+			return nil, false // provably non-nil: the nil branch is dead
+		}
+		out := in.clone()
+		out[obj] = resNil
+		return out, true
+	}
+	rest := st &^ resNil
+	if rest == 0 {
+		return nil, false // provably nil: the non-nil branch is dead
+	}
+	if rest != st {
+		out := in.clone()
+		out[obj] = rest
+		return out, true
+	}
+	return in, true
+}

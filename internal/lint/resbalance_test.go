@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestResBalanceGolden(t *testing.T) {
+	runGolden(t, ResBalance)
+}

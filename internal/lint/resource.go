@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// resourcePrefix introduces a resource-lifecycle contract directive.
+// Grammar, in a function or method declaration's doc comment:
+//
+//	//lint:resource acquire <class>   — the call's first result is an
+//	                                    owned <class> the caller must
+//	                                    release (or return)
+//	//lint:resource release <class>   — the call releases the <class>
+//	                                    passed as its receiver or as
+//	                                    any argument
+//	//lint:resource transfer <class>  — the call takes ownership of the
+//	                                    <class> passed as an argument;
+//	                                    the caller's obligation ends
+//
+// <class> is a free-form word naming the resource kind ("snapshot",
+// "poolbuf", …); classes exist only to make diagnostics readable and
+// to keep unrelated lifecycles from pairing with each other.
+const resourcePrefix = "//lint:resource"
+
+// resourceContracts is the parsed contract surface of the program.
+type resourceContracts struct {
+	acquire  map[*types.Func]string
+	release  map[*types.Func]string
+	transfer map[*types.Func]string
+}
+
+// contracts reports whether any contract was declared at all.
+func (rc *resourceContracts) any() bool {
+	return len(rc.acquire)+len(rc.release)+len(rc.transfer) > 0
+}
+
+// parseResourceContracts scans every comment in the program for
+// //lint:resource directives. Well-formed directives must sit in a
+// function declaration's doc comment; malformed or misplaced ones are
+// reported through the pass (under the calling analyzer's rule, so the
+// self-run keeps every contract in the tree parseable).
+func parseResourceContracts(pass *Pass) *resourceContracts {
+	rc := &resourceContracts{
+		acquire:  make(map[*types.Func]string),
+		release:  make(map[*types.Func]string),
+		transfer: make(map[*types.Func]string),
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			consumed := make(map[*ast.Comment]bool)
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if !isResourceComment(c.Text) {
+						continue
+					}
+					consumed[c] = true
+					fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+					rc.parseOne(pass, c, fn, fd)
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if isResourceComment(c.Text) && !consumed[c] {
+						pass.Reportf(c.Pos(), "//lint:resource directive must be in a function declaration's doc comment")
+					}
+				}
+			}
+		}
+	}
+	return rc
+}
+
+// isResourceComment matches "//lint:resource" followed by whitespace or
+// end of comment (so "//lint:resourceful" is someone else's comment).
+func isResourceComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, resourcePrefix)
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+// parseOne validates one directive against its declaration and records
+// the contract.
+func (rc *resourceContracts) parseOne(pass *Pass, c *ast.Comment, fn *types.Func, fd *ast.FuncDecl) {
+	rest := strings.TrimPrefix(c.Text, resourcePrefix)
+	// Anything after a nested "//" is commentary, not directive.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		pass.Reportf(c.Pos(), `malformed //lint:resource directive: want "//lint:resource <acquire|release|transfer> <class>"`)
+		return
+	}
+	verb, class := fields[0], fields[1]
+	if fn == nil {
+		return
+	}
+	switch verb {
+	case "acquire":
+		if fd.Type.Results.NumFields() == 0 {
+			pass.Reportf(c.Pos(), "//lint:resource acquire on %s, which returns nothing to own", fn.Name())
+			return
+		}
+		rc.acquire[fn] = class
+	case "release", "transfer":
+		if fd.Recv == nil && fd.Type.Params.NumFields() == 0 {
+			pass.Reportf(c.Pos(), "//lint:resource %s on %s, which takes nothing to %s", verb, fn.Name(), verb)
+			return
+		}
+		if verb == "release" {
+			rc.release[fn] = class
+		} else {
+			rc.transfer[fn] = class
+		}
+	default:
+		pass.Reportf(c.Pos(), "unknown //lint:resource verb %q (want acquire, release, or transfer)", verb)
+	}
+}

@@ -195,9 +195,10 @@ type shapeCtx struct {
 	violated bool
 	// nodes collects every autodiff node construction seen (for vjpshape).
 	nodes []*absNode
-	// active guards against recursive summaries; depth caps nesting.
-	active map[*types.Func]bool
-	depth  int
+	// guard bounds call-site summary interpretation: it refuses
+	// re-entry into a function already on the inlining chain and caps
+	// the nesting depth (shared facility, see callgraph.go).
+	guard *inlineGuard
 }
 
 func newShapeCtx(pass *Pass) *shapeCtx {
@@ -205,7 +206,7 @@ func newShapeCtx(pass *Pass) *shapeCtx {
 		pass:   pass,
 		subst:  make(map[string]dataflow.Shape),
 		dsubst: make(map[string]dataflow.Dim),
-		active: make(map[*types.Func]bool),
+		guard:  newInlineGuard(maxSummaryDepth),
 	}
 }
 
@@ -1272,12 +1273,13 @@ func (c *shapeCtx) col2imModel(pos token.Pos, cols absVal, batch dataflow.Dim, g
 // sandboxing its constraints and renaming escaping symbols per site.
 func (c *shapeCtx) summarize(pkg *Package, e *env, call *ast.CallExpr, fn *types.Func) absVal {
 	info, ok := c.pass.Prog.Decls[fn]
-	if !ok || info.Decl.Body == nil || c.depth >= maxSummaryDepth || c.active[fn] {
+	if !ok || info.Decl.Body == nil || !c.guard.enter(fn) {
 		for _, a := range call.Args {
 			c.evalExpr(pkg, e, a)
 		}
 		return top()
 	}
+	defer c.guard.exit(fn)
 	// Evaluate arguments in the caller's context (their checks fire here).
 	args := make([]absVal, len(call.Args))
 	for i, a := range call.Args {
@@ -1296,17 +1298,14 @@ func (c *shapeCtx) summarize(pkg *Package, e *env, call *ast.CallExpr, fn *types
 		dsubst:  make(map[string]dataflow.Dim),
 		created: make(map[string]bool),
 		assume:  true,
-		active:  c.active,
-		depth:   c.depth + 1,
+		guard:   c.guard,
 	}
 	// Provable violations inside the callee (given the caller's concrete
 	// arguments) are reported at the call site.
 	if c.report != nil {
 		sub.report = func(_ token.Pos, msg string) { c.report(call.Pos(), fn.Name()+": "+msg) }
 	}
-	c.active[fn] = true
 	results := sub.interpFunc(info, recvVal, args, call.Ellipsis != token.NoPos)
-	delete(c.active, fn)
 	if sub.violated {
 		c.violated = true
 	}

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"quickdrop/internal/lint/dataflow"
+)
+
+// SnapFreeze enforces published-snapshot immutability: the tensors a
+// serve.Snapshot hands out through Params() are shared by every reader
+// holding a reference, so writing to them — directly, through an
+// alias, or by passing them into a function that mutates its argument
+// — corrupts concurrent predictions. Outside the snapshot store itself
+// the analyzer taints the result of Snapshot.Params() and everything
+// reachable from it (the slice, its elements, views of those tensors)
+// and reports:
+//
+//   - in-place tensor mutators (Zero, CopyFrom, AddInPlace, …) on a
+//     tainted tensor;
+//   - copy(t.Data(), …) and element/field stores through a tainted
+//     value (params[i] = x);
+//   - a tainted tensor as the destination of an *Into kernel;
+//   - passing a tainted value at an argument position the callee
+//     mutates, resolved interprocedurally via bottom-up call-graph
+//     summaries of which parameter positions each module function
+//     writes through.
+//
+// Methods of Snapshot and SnapshotStore are exempt: the store owns the
+// buffers until they are published and reclaims them after the last
+// release.
+var SnapFreeze = &Analyzer{
+	Name: "snapfreeze",
+	Doc:  "tensors published via Snapshot.Params are immutable outside the snapshot store",
+	Run:  runSnapFreeze,
+}
+
+func runSnapFreeze(pass *Pass) {
+	// Whole-program rule: run once, from the first loaded package.
+	if len(pass.Prog.Packages) == 0 || pass.Pkg != pass.Prog.Packages[0] {
+		return
+	}
+	serveLoaded := false
+	for _, pkg := range pass.Prog.Packages {
+		if hasPathSuffix(pkg.Path, "internal/serve") {
+			serveLoaded = true
+			break
+		}
+	}
+	if !serveLoaded {
+		return
+	}
+	sf := &snapFreeze{pass: pass}
+	sf.sums = dataflow.FixSummaries(pass.Prog.CallGraph(), dataflow.SummaryAnalysis[*types.Func, map[int]bool]{
+		Bottom:   func(*types.Func) map[int]bool { return map[int]bool{} },
+		Transfer: sf.mutSummary,
+		Equal:    eqIntSet,
+	})
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || sf.exempt(pkg, fd) {
+					continue
+				}
+				sf.checkBody(pkg, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						sf.checkBody(pkg, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+type snapFreeze struct {
+	pass *Pass
+	sums map[*types.Func]map[int]bool
+}
+
+func eqIntSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// exempt reports whether fd is a method of Snapshot or SnapshotStore —
+// the store legitimately writes the buffers it has not yet published
+// or has already reclaimed.
+func (sf *snapFreeze) exempt(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || !hasPathSuffix(pkg.Path, "internal/serve") {
+		return false
+	}
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	return isMethodOn(fn, fd.Name.Name, "Snapshot", "internal/serve") ||
+		isMethodOn(fn, fd.Name.Name, "SnapshotStore", "internal/serve")
+}
+
+// chainRootObj unwraps selector/index chains to the root identifier's
+// object ("t" for t.data[i]), or nil.
+func chainRootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return identObj(info, e)
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mutSummary computes which parameter positions (receiver = -1) fn may
+// write through: element/field stores rooted at a parameter, in-place
+// tensor mutators, copy into a parameter's storage, *Into destinations,
+// taking a parameter's address, and — transitively — passing a
+// parameter at a position a callee mutates.
+func (sf *snapFreeze) mutSummary(fn *types.Func, get func(*types.Func) map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	fi, ok := sf.pass.Prog.Decls[fn]
+	if !ok || fi.Decl.Body == nil {
+		return out
+	}
+	info := fi.Pkg.Info
+	params := paramIndexMap(info, fi.Decl)
+	posOf := func(e ast.Expr) (int, bool) {
+		obj := chainRootObj(info, e)
+		if obj == nil {
+			return 0, false
+		}
+		pi, ok := params[obj]
+		return pi, ok
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.IndexExpr, *ast.SelectorExpr:
+					if pi, ok := posOf(l); ok {
+						out[pi] = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if pi, ok := posOf(n.X); ok {
+					out[pi] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && tensorMutators[sel.Sel.Name] {
+				if cf := calleeFunc(info, n); cf != nil && isMethodOn(cf, sel.Sel.Name, "Tensor", "internal/tensor") {
+					if pi, ok := posOf(sel.X); ok {
+						out[pi] = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if inner, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok {
+						if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" {
+							if pi, ok := posOf(sel.X); ok {
+								out[pi] = true
+							}
+						}
+					}
+				}
+			}
+			if cf := calleeFunc(info, n); cf != nil {
+				if strings.HasSuffix(cf.Name(), "Into") && hasPathSuffix(funcPkgPath(cf), "internal/tensor") && len(n.Args) > 0 {
+					if pi, ok := posOf(n.Args[0]); ok {
+						out[pi] = true
+					}
+				}
+				if cs := get(cf); len(cs) > 0 {
+					forEachCallArgPos(n, cf, func(pos int, arg ast.Expr) {
+						if cs[pos] {
+							if pi, ok := posOf(arg); ok {
+								out[pi] = true
+							}
+						}
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody runs the taint flow over one function unit.
+func (sf *snapFreeze) checkBody(pkg *Package, body *ast.BlockStmt) {
+	g := dataflow.NewFromBlock(body, nil)
+	if g == nil {
+		return
+	}
+	fl := &snapFlow{sf: sf, info: pkg.Info}
+	an := dataflow.Analysis[taintFact]{
+		Init:  taintFact{},
+		Join:  joinTaintFact,
+		Equal: eqTaintFact,
+		Stmt:  fl.transfer,
+	}
+	res := dataflow.Forward(g, an)
+
+	fl.reporting = true
+	fl.seen = make(map[ast.Node]bool)
+	for _, blk := range g.Blocks {
+		in, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		f := in
+		for _, n := range blk.Stmts {
+			f = fl.transfer(n, f)
+		}
+	}
+}
+
+type snapFlow struct {
+	sf        *snapFreeze
+	info      *types.Info
+	reporting bool
+	seen      map[ast.Node]bool
+}
+
+func (fl *snapFlow) report(n ast.Node, pos token.Pos, format string, args ...any) {
+	if !fl.reporting || fl.seen[n] {
+		return
+	}
+	fl.seen[n] = true
+	fl.sf.pass.Reportf(pos, format, args...)
+}
+
+// isSnapshotParams reports whether expr is a Snapshot.Params() call —
+// the taint source.
+func (fl *snapFlow) isSnapshotParams(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(fl.info, call)
+	return fn != nil && isMethodOn(fn, "Params", "Snapshot", "internal/serve")
+}
+
+// tainted reports whether expr evaluates to snapshot-published storage:
+// a Params() result, a tainted local, an element of one, or a view.
+func (fl *snapFlow) tainted(f taintFact, expr ast.Expr) bool {
+	x := ast.Unparen(expr)
+	if fl.isSnapshotParams(x) {
+		return true
+	}
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := identObj(fl.info, x); obj != nil {
+			return f[obj]
+		}
+	case *ast.IndexExpr:
+		return fl.tainted(f, x.X)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "View", "ViewLike", "RowsView":
+				if fn := calleeFunc(fl.info, x); fn != nil && isMethodOn(fn, sel.Sel.Name, "Tensor", "internal/tensor") {
+					return fl.tainted(f, sel.X)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (fl *snapFlow) transfer(n ast.Node, in taintFact) taintFact {
+	out := in
+	cloned := false
+	set := func(obj types.Object, tainted bool) {
+		if !cloned {
+			out = in.clone()
+			cloned = true
+		}
+		if tainted {
+			out[obj] = true
+		} else {
+			delete(out, obj)
+		}
+	}
+	node := n
+	if dr, ok := n.(*dataflow.DeferRun); ok {
+		node = dr.D.Call
+	}
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.DeferStmt:
+			return false // registration; the call runs as a DeferRun
+		case *ast.RangeStmt:
+			// Ranging over the tainted params slice taints the element
+			// variable; any other range clears both.
+			el := fl.tainted(out, x.X)
+			if id, ok := ast.Unparen(x.Key).(*ast.Ident); x.Key != nil && ok && id.Name != "_" {
+				if obj := identObj(fl.info, id); obj != nil {
+					set(obj, false)
+				}
+			}
+			if x.Value != nil {
+				if id, ok := ast.Unparen(x.Value).(*ast.Ident); ok && id.Name != "_" {
+					if obj := identObj(fl.info, id); obj != nil {
+						set(obj, el)
+					}
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Rhs {
+					switch l := ast.Unparen(x.Lhs[i]).(type) {
+					case *ast.Ident:
+						if l.Name == "_" {
+							continue
+						}
+						if obj := identObj(fl.info, l); obj != nil {
+							set(obj, fl.tainted(out, x.Rhs[i]))
+						}
+					case *ast.IndexExpr:
+						if fl.tainted(out, l.X) {
+							fl.report(x, l.Pos(), "element store into snapshot parameters; tensors published by Snapshot.Params are immutable outside the store")
+						}
+					case *ast.SelectorExpr:
+						if fl.tainted(out, l.X) {
+							fl.report(x, l.Pos(), "field write through snapshot parameters; tensors published by Snapshot.Params are immutable outside the store")
+						}
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			fl.checkCall(out, x)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// checkCall reports mutations of tainted values through calls.
+func (fl *snapFlow) checkCall(f taintFact, call *ast.CallExpr) {
+	// t.Mutator(...) on a tainted tensor.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && tensorMutators[sel.Sel.Name] && fl.tainted(f, sel.X) {
+		if fn := calleeFunc(fl.info, call); fn != nil && isMethodOn(fn, sel.Sel.Name, "Tensor", "internal/tensor") {
+			fl.report(call, call.Pos(), "%s mutates snapshot parameters; tensors published by Snapshot.Params are immutable outside the store", sel.Sel.Name)
+			return
+		}
+	}
+	// copy(t.Data(), ...) through a tainted t.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) > 0 {
+		if _, isBuiltin := fl.info.Uses[id].(*types.Builtin); isBuiltin {
+			if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" && fl.tainted(f, sel.X) {
+					fl.report(call, call.Pos(), "copy into snapshot parameter storage; tensors published by Snapshot.Params are immutable outside the store")
+					return
+				}
+			}
+		}
+	}
+	fn := calleeFunc(fl.info, call)
+	if fn == nil {
+		return
+	}
+	// SomeKernelInto(t, ...) with a tainted destination.
+	if strings.HasSuffix(fn.Name(), "Into") && hasPathSuffix(funcPkgPath(fn), "internal/tensor") && len(call.Args) > 0 {
+		if fl.tainted(f, call.Args[0]) {
+			fl.report(call, call.Args[0].Pos(), "snapshot parameter used as %s destination; tensors published by Snapshot.Params are immutable outside the store", fn.Name())
+			return
+		}
+	}
+	// Passing a tainted value at a position the callee writes through.
+	if cs := fl.sf.sums[fn]; len(cs) > 0 {
+		forEachCallArgPos(call, fn, func(pos int, arg ast.Expr) {
+			if cs[pos] && fl.tainted(f, arg) {
+				fl.report(call, arg.Pos(), "%s mutates its %s, and this argument is a snapshot parameter; tensors published by Snapshot.Params are immutable outside the store",
+					fn.Name(), argPosName(pos))
+			}
+		})
+	}
+}
+
+// argPosName renders a parameter position for diagnostics.
+func argPosName(pos int) string {
+	if pos < 0 {
+		return "receiver"
+	}
+	return "argument " + strconv.Itoa(pos)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSnapFreezeGolden(t *testing.T) {
+	runGolden(t, SnapFreeze)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestStateMachineGolden(t *testing.T) {
+	runGolden(t, StateMachine)
+}

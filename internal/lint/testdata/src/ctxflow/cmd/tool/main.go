@@ -1,0 +1,10 @@
+// Command tool is exempt from the root-context ban: binaries own the
+// root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // no report: cmd packages mint the root
+	_ = ctx
+}

@@ -1,0 +1,71 @@
+// Package p exercises context.Context discipline.
+package p
+
+import "context"
+
+type server struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	n   int
+}
+
+type allowed struct {
+	//lint:allow ctxflow held only between Start and the deferred Stop
+	ctx context.Context
+}
+
+func firstOK(ctx context.Context, n int) {}
+
+func notFirst(n int, ctx context.Context) {} // want "context.Context must be the first parameter"
+
+type handler func(name string, ctx context.Context) // want "context.Context must be the first parameter"
+
+// Doer is an interface with a misplaced context.
+type Doer interface {
+	Do(name string, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+func mintsRoot() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func mintsTODO() {
+	_ = context.TODO() // want "context.TODO in library code"
+}
+
+//lint:hotpath
+func hotLoop(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // want "never consults its context"
+		total += x
+	}
+	return total
+}
+
+//lint:hotpath
+func hotLoopOK(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += x
+	}
+	return total
+}
+
+// helper is on hotRoot's call path, takes a ctx, and ignores it.
+func helper(ctx context.Context, xs []int) {
+	for range xs { // want "never consults its context"
+	}
+}
+
+//lint:hotpath
+func hotRoot(ctx context.Context, xs []int) {
+	helper(ctx, xs)
+}
+
+// coldLoop takes a ctx and ignores it, but is not on any hot path.
+func coldLoop(ctx context.Context, xs []int) {
+	for range xs { // no report: not reachable from a //lint:hotpath root
+	}
+}

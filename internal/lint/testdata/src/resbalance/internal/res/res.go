@@ -1,0 +1,24 @@
+// Package res declares resource contracts for the resbalance golden
+// tests.
+package res
+
+// Conn is a resource handle.
+type Conn struct{ open bool }
+
+// Open acquires a conn; it may return nil when nothing is available.
+//
+//lint:resource acquire conn
+func Open() *Conn { return &Conn{open: true} }
+
+// Close releases the conn.
+//
+//lint:resource release conn
+func (c *Conn) Close() { c.open = false }
+
+// Adopt takes ownership of c; the caller's obligation ends.
+//
+//lint:resource transfer conn
+func Adopt(c *Conn) {}
+
+// Ping uses the conn without consuming it.
+func (c *Conn) Ping() {}

@@ -1,0 +1,25 @@
+// Package p: directive-grammar error cases.
+package p
+
+//lint:resource acquire conn // want "must be in a function declaration's doc comment"
+var misplacedDirective int
+
+// Malformed: missing the class word.
+//
+//lint:resource acquire // want "malformed //lint:resource directive"
+func malformedDirective() {}
+
+// Unknown verb.
+//
+//lint:resource borrow conn // want "unknown //lint:resource verb"
+func unknownVerb() {}
+
+// Acquire on a function with no results.
+//
+//lint:resource acquire conn // want "returns nothing to own"
+func acquireVoid() {}
+
+// Release on a function with no inputs.
+//
+//lint:resource release conn // want "takes nothing to release"
+func releaseNothing() {}

@@ -1,0 +1,89 @@
+// Package p exercises contract-declared acquire/release balance.
+package p
+
+import "quickdrop/internal/res"
+
+type holder struct{ c *res.Conn }
+
+func balanced() {
+	c := res.Open()
+	if c == nil {
+		return
+	}
+	defer c.Close()
+	c.Ping()
+}
+
+func straightLine() {
+	c := res.Open()
+	c.Ping()
+	c.Close()
+}
+
+func leaks() {
+	c := res.Open() // want "acquired conn has no matching release"
+	c.Ping()
+}
+
+func branchLeak(flag bool) {
+	c := res.Open() // want "not released on every path"
+	if flag {
+		return
+	}
+	if c != nil {
+		c.Close()
+	}
+}
+
+func doubleRelease() {
+	c := res.Open()
+	c.Close()
+	c.Close() // want "released twice on this path"
+}
+
+func discards() {
+	res.Open()     // want "discarded"
+	_ = res.Open() // want "discarded"
+}
+
+func overwrites() {
+	c := res.Open()
+	c = res.Open() // want "acquire overwrites a still-held conn"
+	c.Close()
+}
+
+// provide returns the conn it opens: ownership moves to the caller, so
+// provide is itself an acquirer by derivation.
+func provide() *res.Conn {
+	c := res.Open()
+	return c
+}
+
+func helperLeak() {
+	c := provide() // want "acquired conn has no matching release"
+	c.Ping()
+}
+
+// closeIt releases its parameter, so calling it discharges the
+// caller's obligation.
+func closeIt(c *res.Conn) {
+	if c != nil {
+		c.Close()
+	}
+}
+
+func helperBalanced() {
+	c := res.Open()
+	c.Ping()
+	closeIt(c)
+}
+
+func transfers() {
+	c := res.Open()
+	res.Adopt(c)
+}
+
+func escapesSilently(h *holder) {
+	c := res.Open()
+	h.c = c // custody leaves the modeled domain: no report
+}

@@ -1,0 +1,34 @@
+// Package tensor stubs the real kernel package for the snapfreeze
+// golden tests.
+package tensor
+
+// Tensor is a minimal stand-in for the real tensor type.
+type Tensor struct{ data []float64 }
+
+// Data exposes the backing storage.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Sum reduces the tensor to a scalar.
+func (t *Tensor) Sum() float64 { return float64(len(t.data)) }
+
+// Zero clears the tensor in place.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// CopyFrom overwrites t's elements with src's.
+func (t *Tensor) CopyFrom(src *Tensor) {}
+
+// AddInPlace accumulates o into t.
+func (t *Tensor) AddInPlace(o *Tensor) {}
+
+// View returns a tensor sharing t's storage.
+func (t *Tensor) View(lo, hi int) *Tensor { return &Tensor{data: t.data[lo:hi]} }
+
+// AddInto writes a+b into dst.
+func AddInto(dst, a, b *Tensor) {}
+
+// New allocates a fresh tensor.
+func New(n int) *Tensor { return &Tensor{data: make([]float64, n)} }

@@ -1,0 +1,76 @@
+// Package p exercises published-snapshot immutability.
+package p
+
+import (
+	"quickdrop/internal/serve"
+	"quickdrop/internal/tensor"
+)
+
+func readOnly(s *serve.Snapshot) float64 {
+	total := 0.0
+	for _, p := range s.Params() {
+		total += p.Sum()
+	}
+	return total
+}
+
+func mutatesElement(s *serve.Snapshot) {
+	params := s.Params()
+	params[0].Zero() // want "Zero mutates snapshot parameters"
+}
+
+func mutatesViaRange(s *serve.Snapshot, o *tensor.Tensor) {
+	for _, p := range s.Params() {
+		p.AddInPlace(o) // want "AddInPlace mutates snapshot parameters"
+	}
+}
+
+func mutatesViaAlias(s *serve.Snapshot, src []float64) {
+	params := s.Params()
+	t := params[1]
+	copy(t.Data(), src) // want "copy into snapshot parameter storage"
+}
+
+func mutatesView(s *serve.Snapshot) {
+	v := s.Params()[0].View(0, 2)
+	v.Zero() // want "Zero mutates snapshot parameters"
+}
+
+func storesElement(s *serve.Snapshot, t *tensor.Tensor) {
+	params := s.Params()
+	params[0] = t // want "element store into snapshot parameters"
+}
+
+func intoDest(s *serve.Snapshot, a, b *tensor.Tensor) {
+	p := s.Params()[0]
+	tensor.AddInto(p, a, b) // want "snapshot parameter used as AddInto destination"
+}
+
+// scrub mutates its argument; callers passing snapshot parameters are
+// flagged through its summary.
+func scrub(t *tensor.Tensor) {
+	t.Zero()
+}
+
+// scrubTwice mutates transitively.
+func scrubTwice(t *tensor.Tensor) { scrub(t) }
+
+func mutatesViaHelper(s *serve.Snapshot) {
+	p := s.Params()[0]
+	scrub(p) // want "scrub mutates its argument 0"
+}
+
+func mutatesTransitively(s *serve.Snapshot) {
+	p := s.Params()[0]
+	scrubTwice(p) // want "scrubTwice mutates its argument 0"
+}
+
+func reassigned(s *serve.Snapshot) {
+	p := s.Params()[0]
+	p = tensor.New(4)
+	p.Zero() // no report: p was rebound to a fresh tensor
+}
+
+func copiesOut(s *serve.Snapshot, dst *tensor.Tensor) {
+	dst.CopyFrom(s.Params()[0]) // no report: the parameter is only read
+}

@@ -1,0 +1,18 @@
+// Package p: directive-grammar error cases.
+package p
+
+//lint:statemachine StateQueued->StateDone // want "must be in a type declaration's doc comment"
+var misplacedSM int
+
+// Phase has a broken table.
+//
+//lint:statemachine PhaseA=>PhaseB // want "malformed //lint:statemachine edge"
+//lint:statemachine PhaseA->Bogus // want `names "Bogus", which is not a constant of Phase`
+type Phase int
+
+const (
+	// PhaseA starts the phase lifecycle.
+	PhaseA Phase = iota
+	// PhaseB ends it.
+	PhaseB
+)

@@ -1,0 +1,76 @@
+// Package p exercises declared-lifecycle transition checking.
+package p
+
+// State is a ticket lifecycle.
+//
+//lint:statemachine StateQueued->StateRunning StateRunning->StateDone
+//lint:statemachine StateQueued->StateFailed StateRunning->StateFailed
+type State int
+
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+// Ticket carries a lifecycle-typed field.
+type Ticket struct{ state State }
+
+func (t *Ticket) setState(s State) { t.state = s }
+
+func (t *Ticket) fail() { t.setState(StateFailed) }
+
+func legalChain(t *Ticket) {
+	t.state = StateQueued
+	t.state = StateRunning
+	t.state = StateDone
+}
+
+func illegalDirect(t *Ticket) {
+	t.state = StateDone
+	t.state = StateRunning // want "illegal State transition StateDone -> StateRunning"
+}
+
+func illegalViaSetter(t *Ticket) {
+	t.fail()
+	t.setState(StateDone) // want "moves State from StateFailed to StateDone"
+}
+
+func joinLegal(t *Ticket, ok bool) {
+	t.state = StateQueued
+	if ok {
+		t.state = StateRunning
+	} else {
+		t.state = StateFailed
+	}
+}
+
+func joinIllegal(t *Ticket, ok bool) {
+	t.state = StateQueued
+	if ok {
+		t.state = StateDone // want "illegal State transition StateQueued -> StateDone"
+	} else {
+		t.state = StateFailed
+	}
+	t.state = StateRunning // want "illegal State transition StateDone.StateFailed -> StateRunning"
+}
+
+func localVar() {
+	s := StateQueued
+	s = StateDone // want "illegal State transition StateQueued -> StateDone"
+	_ = s
+}
+
+func degradeOnUnknown(t *Ticket, s State) {
+	t.state = s
+	t.state = StateQueued // no report: incoming state unknown
+}
+
+func degradeOnEscape(t *Ticket) {
+	t.fail()
+	audit(t)
+	t.state = StateQueued // no report: t escaped to audit
+}
+
+func audit(t *Ticket) {}

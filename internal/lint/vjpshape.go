@@ -117,7 +117,7 @@ func primeInstantiation(sym *shapeCtx, fd *ast.FuncDecl) *instantiation {
 		pass:   sym.pass,
 		subst:  make(map[string]dataflow.Shape),
 		dsubst: make(map[string]dataflow.Dim),
-		active: make(map[*types.Func]bool),
+		guard:  newInlineGuard(maxSummaryDepth),
 	}
 	// First pass: give every still-unranked parameter shape a rank-1
 	// concretization in terms of its element count.

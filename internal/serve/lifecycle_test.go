@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quickdrop/internal/core"
+	"quickdrop/internal/nn"
+)
+
+// slowEval widens the per-ticket state windows (accuracy evaluation
+// happens inside the unlearning batch) so concurrent observers get a
+// real chance to catch intermediate states.
+type slowEval struct{ d time.Duration }
+
+func (e slowEval) Split(_ *nn.Model, _ core.Request) (float64, float64) {
+	time.Sleep(e.d)
+	return 0, 0
+}
+
+// stateRank orders the forward lifecycle; observers poll, so they may
+// skip states but must never see one move backwards.
+var stateRank = map[string]int{
+	"queued":     0,
+	"coalesced":  1,
+	"unlearning": 2,
+	"recovered":  3,
+	"published":  4,
+}
+
+// legalObservation reports whether observing next after prev is
+// consistent with the declared ticket lifecycle (the //lint:statemachine
+// table on State): forward-only, failed reachable from any non-terminal
+// state, nothing after a terminal state.
+func legalObservation(prev, next string) bool {
+	if prev == next {
+		return true
+	}
+	if prev == "published" || prev == "failed" {
+		return false
+	}
+	if next == "failed" {
+		return true
+	}
+	pr, okP := stateRank[prev]
+	nr, okN := stateRank[next]
+	return okP && okN && nr > pr
+}
+
+// TestTicketStatesLegalUnderConcurrentObservation hammers GET
+// /v1/requests from several goroutines while sequential batches run and
+// checks every observed ticket state is a known state and every
+// per-ticket observation sequence follows the declared lifecycle. Run
+// under -race this also proves View/views take consistent snapshots.
+func TestTicketStatesLegalUnderConcurrentObservation(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig(11), Config{
+		Evaluator:  slowEval{d: 3 * time.Millisecond},
+		Sequential: true, // one batch per request: more transitions to observe
+	})
+
+	bodies := []string{
+		`{"kind":"class","class":1}`,
+		`{"kind":"class","class":2}`,
+		`{"kind":"client","client":0}`,
+	}
+	ids := make([]uint64, len(bodies))
+	for i, body := range bodies {
+		code, v := postForget(t, ts.URL, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("post %d: status %d, want 202", i, code)
+		}
+		ids[i] = v.ID
+	}
+
+	// Observers start before the worker so the queued state is seen too.
+	// Each observer validates its own observation sequence: its polls are
+	// issued serially, so per ticket they are ordered in real time.
+	stop := make(chan struct{})
+	var observations atomic.Int64
+	var wg sync.WaitGroup
+	const observers = 4
+	wg.Add(observers)
+	for o := 0; o < observers; o++ {
+		go func() {
+			defer wg.Done()
+			last := make(map[uint64]string)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/requests")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var views struct {
+					Requests []View `json:"requests"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&views)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, v := range views.Requests {
+					if v.State != "failed" {
+						if _, ok := stateRank[v.State]; !ok {
+							t.Errorf("ticket %d observed in unknown state %q", v.ID, v.State)
+							return
+						}
+					}
+					if prev, ok := last[v.ID]; ok && !legalObservation(prev, v.State) {
+						t.Errorf("ticket %d observed moving %s -> %s; the declared lifecycle has no such path", v.ID, prev, v.State)
+						return
+					}
+					last[v.ID] = v.State
+				}
+				observations.Add(1)
+			}
+		}()
+	}
+
+	s.Start()
+	waitTerminal(t, s, ids...)
+	// One more beat so observers can catch the terminal states, then a
+	// final validated read after the storm.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if observations.Load() == 0 {
+		t.Fatal("observers made no successful polls; the test observed nothing")
+	}
+	for _, v := range s.views() {
+		if v.State != "published" {
+			t.Fatalf("ticket %d finished in state %q (error %q), want published", v.ID, v.State, v.Error)
+		}
+	}
+}
+
+// TestPredictReleasesSnapshotOnPanic pins the predict handler's
+// resource discipline: the snapshot acquired for inference is released
+// on every exit path, including a panic out of SetParams (a
+// misconfigured ModelFactory whose architecture does not match the
+// published parameters). Predictions race a publish storm, so a leaked
+// reference would pin a superseded version and show up as Live() > 1.
+func TestPredictReleasesSnapshotOnPanic(t *testing.T) {
+	// The factory's architecture disagrees with the system's: SetParams
+	// panics after the handler has acquired a snapshot.
+	badArch := tinyArch()
+	badArch.Width = 8
+	s, ts := newTestServer(t, tinyConfig(13), Config{
+		Sequential: true,
+		ModelFactory: func() *nn.Model {
+			return nn.NewConvNet(badArch, rand.New(rand.NewSource(1)))
+		},
+	})
+
+	good, err := json.Marshal(predictBody{Inputs: [][]float64{make([]float64, 36)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := json.Marshal(predictBody{Inputs: [][]float64{make([]float64, 7)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Publish storm: sequential batches, one publish per request.
+	bodies := []string{
+		`{"kind":"class","class":1}`,
+		`{"kind":"class","class":2}`,
+		`{"kind":"client","client":1}`,
+	}
+	ids := make([]uint64, len(bodies))
+	for i, body := range bodies {
+		code, v := postForget(t, ts.URL, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("post %d: status %d, want 202", i, code)
+		}
+		ids[i] = v.ID
+	}
+	s.Start()
+
+	// Drive the handler directly (not through httptest) so the panic
+	// unwinds into our recover the way net/http's per-connection recovery
+	// would catch it, without failing the client connection.
+	h := s.Handler()
+	var panics atomic.Int64
+	var wg sync.WaitGroup
+	const workers, calls = 4, 40
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				body := good
+				if i%5 == 4 {
+					body = bad // error exit path: rejected before Acquire
+				}
+				func() {
+					defer func() {
+						if recover() != nil {
+							panics.Add(1)
+						}
+					}()
+					rec := httptest.NewRecorder()
+					req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusBadRequest {
+						t.Errorf("worker %d call %d returned %d without panicking, want 400 or a SetParams panic", w, i, rec.Code)
+					}
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitTerminal(t, s, ids...)
+	s.Drain()
+
+	if panics.Load() == 0 {
+		t.Fatal("no predict call panicked; the panic exit path was never exercised")
+	}
+	// Every acquired snapshot was released: only the current version is
+	// live. A missed Release on the panic path would pin whichever
+	// superseded version the panicking handler held.
+	if live := s.Store().Live(); live != 1 {
+		t.Fatalf("Live = %d after the storm, want 1 — a handler exit path leaked its snapshot", live)
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"quickdrop/internal/telemetry"
@@ -49,21 +50,35 @@ func (sn *Snapshot) tryRef() bool {
 // version drops, the version is reclaimed: its parameter memory is
 // released and the store's live count decremented. Nil-safe, so
 // readers can defer Release on a possibly-nil acquisition.
+//
+// An over-release panics before touching the count: a blind decrement
+// would let the refcount go negative, after which a concurrent tryRef
+// CAS could resurrect a reclaimed snapshot. The CAS loop keeps the
+// count truthful even when the extra Release races correct ones.
+//
+//lint:resource release snapshot
 func (sn *Snapshot) Release() {
 	if sn == nil {
 		return
 	}
-	r := sn.refs.Add(-1)
-	if r < 0 {
-		panic("serve: Snapshot over-released")
-	}
-	if r == 0 {
-		// No reader holds the snapshot and the store has moved on: no
-		// path can reach the params again (tryRef refuses refs <= 0),
-		// so dropping the slice frees the version's memory now instead
-		// of when the last *Snapshot pointer is collected.
-		sn.params = nil
-		sn.st.live.Add(-1)
+	for {
+		r := sn.refs.Load()
+		if r <= 0 {
+			panic(fmt.Sprintf("serve: Snapshot version %d over-released (refcount %d); every Acquire must pair with exactly one Release", sn.version, r))
+		}
+		if !sn.refs.CompareAndSwap(r, r-1) {
+			continue
+		}
+		if r == 1 {
+			// No reader holds the snapshot and the store has moved on:
+			// no path can reach the params again (tryRef refuses refs
+			// <= 0), so dropping the slice frees the version's memory
+			// now instead of when the last *Snapshot pointer is
+			// collected.
+			sn.params = nil
+			sn.st.live.Add(-1)
+		}
+		return
 	}
 }
 
@@ -108,6 +123,8 @@ func (st *SnapshotStore) Publish(params []*tensor.Tensor) uint64 {
 // if nothing has been published. It never blocks: a concurrent
 // Publish at worst costs one retry when the loaded version died
 // between the load and the refcount increment.
+//
+//lint:resource acquire snapshot
 func (st *SnapshotStore) Acquire() *Snapshot {
 	for {
 		sn := st.cur.Load()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -80,6 +81,28 @@ func TestSnapshotNilRelease(t *testing.T) {
 // the race detector: acquisitions never block, never observe a torn
 // parameter set, and every superseded version is reclaimed once the
 // readers finish.
+func TestSnapshotOverReleasePanics(t *testing.T) {
+	st := NewSnapshotStore()
+	st.Publish(fill(1))
+	sn := st.Acquire()
+	st.Publish(fill(2)) // supersede v1: the store drops its own reference
+	sn.Release()        // last reference: v1 is reclaimed
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Release did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "over-released") || !strings.Contains(msg, "Acquire must pair with exactly one Release") {
+			t.Fatalf("panic message %v does not describe the over-release", r)
+		}
+		if got := sn.refs.Load(); got != 0 {
+			t.Fatalf("refcount corrupted to %d by the failed Release, want 0", got)
+		}
+	}()
+	sn.Release()
+}
+
 func TestSnapshotConcurrentReaders(t *testing.T) {
 	st := NewSnapshotStore()
 	st.Publish(fill(1))

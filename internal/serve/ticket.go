@@ -14,7 +14,14 @@ import (
 //	                                            ↘ failed
 //
 // Failed is reachable from any earlier state (parse-time rejection,
-// batch resolution failure, phase error).
+// batch resolution failure, phase error). The table below is machine
+// checked: quickdroplint's statemachine rule verifies every state
+// write in the tree moves along a declared edge.
+//
+//lint:statemachine StateQueued->StateCoalesced StateCoalesced->StateUnlearning
+//lint:statemachine StateUnlearning->StateRecovered StateRecovered->StatePublished
+//lint:statemachine StateQueued->StateFailed StateCoalesced->StateFailed
+//lint:statemachine StateUnlearning->StateFailed StateRecovered->StateFailed
 type State int32
 
 const (
