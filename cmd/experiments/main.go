@@ -101,6 +101,7 @@ func report(args []string) {
 	diff := fs.Bool("diff", false, "compare two manifests (old new); exit nonzero on regression")
 	accDrop := fs.Float64("accuracy-drop", 0.05, "tolerated absolute accuracy drop (forget-set: rise)")
 	timeGrow := fs.Float64("time-grow-pct", 25, "tolerated percentage growth of *_seconds sums")
+	gradGrow := fs.Float64("grad-norm-grow-pct", 100, "tolerated percentage growth of the max gradient norm (health summary)")
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
@@ -118,7 +119,7 @@ func report(args []string) {
 			fatal(err)
 		}
 		entries, regressed := telemetry.Diff(oldM, newM, telemetry.DiffOptions{
-			AccuracyDrop: *accDrop, TimeGrowPct: *timeGrow,
+			AccuracyDrop: *accDrop, TimeGrowPct: *timeGrow, GradNormGrowPct: *gradGrow,
 		})
 		fmt.Printf("diff %s (%s) -> %s (%s): %d metrics compared\n",
 			oldM.Stamp, oldM.Tool, newM.Stamp, newM.Tool, len(entries))
@@ -159,6 +160,14 @@ func report(args []string) {
 		if m.RoundLatency.Count > 0 {
 			fmt.Printf("  round latency: n=%d p50=%s p95=%s p99=%s\n",
 				m.RoundLatency.Count, m.RoundLatency.P50, m.RoundLatency.P95, m.RoundLatency.P99)
+		}
+		if h := m.Health; h != nil {
+			status := "healthy"
+			if h.Tripped {
+				status = fmt.Sprintf("TRIPPED (%s in phase %s)", h.Verdict, h.Phase)
+			}
+			fmt.Printf("  health: %s trips=%d nan_events=%d max_grad_norm=%.6g max_update_ratio=%.6g\n",
+				status, h.Trips, h.NaNEvents, h.MaxGradNorm, h.MaxUpdateRatio)
 		}
 	}
 }

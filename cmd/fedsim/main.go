@@ -42,6 +42,7 @@ import (
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 )
 
 func main() {
@@ -66,6 +67,12 @@ func main() {
 		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /dashboard, /api/series, /debug/vars and /debug/pprof on this address (\":0\" for ephemeral)")
 		telLinger  = flag.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after training")
 		ledgerDir  = flag.String("ledger", "", "write a run manifest into this directory (e.g. runs/)")
+
+		healthOn    = flag.Bool("health", false, "enable the numerics health monitor and divergence watchdog")
+		healthEvery = flag.Int("health-sample-every", 0, "sample per-layer gradient statistics every N optimizer steps (0 = default 16)")
+		healthGrad  = flag.Float64("health-grad-max", 0, "watchdog trip threshold on a layer's gradient L2 norm (0 = default 1e3)")
+		healthSpike = flag.Float64("health-loss-spike", 0, "watchdog trip factor on loss vs its per-phase EWMA (0 = default 20)")
+		healthRatio = flag.Float64("health-ratio-max", 0, "watchdog trip threshold on the update/parameter norm ratio (0 = default 50)")
 	)
 	flag.Parse()
 
@@ -134,6 +141,18 @@ func main() {
 		fmt.Printf("telemetry: serving on http://%s/metrics (dashboard: /dashboard)\n", srv.Addr())
 	}
 
+	var mon *health.Monitor
+	if *healthOn {
+		mon = health.New(health.Config{
+			SampleEvery:     *healthEvery,
+			GradNormMax:     *healthGrad,
+			LossSpikeFactor: *healthSpike,
+			UpdateRatioMax:  *healthRatio,
+			Events:          telemetry.NewEventLog(os.Stderr),
+		}, pipe)
+		mon.BindLayers(model.ParamNames())
+	}
+
 	fmt.Printf("fedsim: %s, %d clients, alpha=%.2g, heterogeneity=%s, %d params\n",
 		*dataset, *clients, *alpha, het, model.NumParams())
 
@@ -153,7 +172,7 @@ func main() {
 		cfg := fl.PhaseConfig{
 			Rounds: step, LocalSteps: *steps, BatchSize: *batch, LR: *lr,
 			Participation: participation, SampleK: *sampleK, Workers: *workers,
-			Counter: &counter, Telemetry: pipe, Phase: "train",
+			Counter: &counter, Telemetry: pipe, Health: mon, Phase: "train",
 		}
 		var err error
 		if *concurrent {
@@ -186,6 +205,7 @@ func main() {
 			"rounds":  fmt.Sprint(*rounds),
 			"scale":   *scaleName,
 		})
+		m.Health = mon.Summary()
 		path, err := telemetry.WriteManifest(*ledgerDir, m)
 		if err != nil {
 			fatal(err)

@@ -46,6 +46,7 @@ import (
 	"quickdrop/internal/nn"
 	"quickdrop/internal/serve"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 )
 
 func main() {
@@ -72,6 +73,13 @@ func run() error {
 		linger       = flag.Duration("linger", 250*time.Millisecond, "coalescing window after the first request of a batch")
 		sequential   = flag.Bool("sequential", false, "disable coalescing: one request per batch, in order")
 		ledgerDir    = flag.String("ledger", "", "write a run manifest (with the audit trail) into this directory on shutdown")
+
+		healthOn    = flag.Bool("health", false, "enable the numerics health monitor and SGA divergence watchdog")
+		healthEvery = flag.Int("health-sample-every", 0, "sample per-layer gradient statistics every N optimizer steps (0 = default 16)")
+		healthGrad  = flag.Float64("health-grad-max", 0, "watchdog trip threshold on a layer's gradient L2 norm (0 = default 1e3)")
+		healthSpike = flag.Float64("health-loss-spike", 0, "watchdog trip factor on loss vs its per-phase EWMA (0 = default 20)")
+		healthRatio = flag.Float64("health-ratio-max", 0, "watchdog trip threshold on the update/parameter norm ratio (0 = default 50)")
+		injectNaN   = flag.String("inject-nan", "", "fault injection: plant a NaN in the model before this phase runs (e.g. \"unlearn\"; testing only)")
 	)
 	flag.Parse()
 
@@ -136,10 +144,24 @@ func run() error {
 	cfg.Telemetry = pipe
 	defer pipe.Close()
 
+	var mon *health.Monitor
+	if *healthOn {
+		mon = health.New(health.Config{
+			SampleEvery:     *healthEvery,
+			GradNormMax:     *healthGrad,
+			LossSpikeFactor: *healthSpike,
+			UpdateRatioMax:  *healthRatio,
+			Events:          telemetry.NewEventLog(os.Stderr),
+		}, pipe)
+		cfg.Health = mon
+		cfg.PoisonPhase = *injectNaN
+	}
+
 	sys, err := core.NewSystem(cfg, reg)
 	if err != nil {
 		return err
 	}
+	mon.BindLayers(sys.Model.ParamNames())
 	fmt.Printf("quickdropd: training %d clients on %s (alpha=%.2g, %d rounds, s=%g)...\n",
 		*clients, *dataset, *alpha, cfg.Train.Rounds, cfg.Distill.Scale)
 	start := time.Now()
@@ -205,6 +227,7 @@ func run() error {
 			"queue":   fmt.Sprint(*queueCap),
 			"linger":  linger.String(),
 		})
+		m.Health = mon.Summary()
 		path, err := telemetry.WriteManifest(*ledgerDir, m)
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"quickdrop/internal/data"
 	"quickdrop/internal/eval"
@@ -127,6 +128,7 @@ func (s *System) unlearnBatchLocked(reqs []Request) (BatchReport, error) {
 			len(reqs), br.Rejected[0].Err)
 	}
 
+	s.poison("unlearn")
 	uRes, err := fl.RunPhase(s.Model, merged, fl.PhaseConfig{
 		Rounds:     s.Cfg.Unlearn.Rounds,
 		LocalSteps: s.Cfg.Unlearn.LocalSteps,
@@ -135,6 +137,7 @@ func (s *System) unlearnBatchLocked(reqs []Request) (BatchReport, error) {
 		Dir:        optim.Ascend,
 		Counter:    &s.Counter,
 		Telemetry:  s.Cfg.Telemetry,
+		Health:     s.Cfg.Health,
 		Phase:      "unlearn",
 	}, s.rng)
 	if err != nil {
@@ -162,6 +165,7 @@ func (s *System) unlearnBatchLocked(reqs []Request) (BatchReport, error) {
 		Participation: s.Cfg.Recover.Participation,
 		Counter:       &s.Counter,
 		Telemetry:     s.Cfg.Telemetry,
+		Health:        s.Cfg.Health,
 		Phase:         "recover",
 	}, s.rng)
 	if err != nil {
@@ -178,6 +182,21 @@ func (s *System) unlearnBatchLocked(reqs []Request) (BatchReport, error) {
 	br.Total.Add(br.Recover)
 	s.observe("recover")
 	return br, nil
+}
+
+// poison plants a NaN in the first element of the model's first
+// parameter when Config.PoisonPhase names the phase about to run — the
+// fault-injection hook the health watchdog's end-to-end tests and
+// scripts/health_smoke.sh drive. No-op unless explicitly configured.
+func (s *System) poison(phase string) {
+	if s.Cfg.PoisonPhase != phase {
+		return
+	}
+	params := s.Model.ParamTensors()
+	if len(params) == 0 || params[0].Len() == 0 {
+		return
+	}
+	params[0].Data()[0] = math.NaN()
 }
 
 // resolveOne validates a request against the current forget state,

@@ -23,6 +23,7 @@ import (
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 )
 
 // RequestKind distinguishes the two unlearning granularities QuickDrop
@@ -130,7 +131,18 @@ type Config struct {
 	// spans, unlearning-request counts). Nil disables observability at
 	// zero cost and changes no numerics either way.
 	Telemetry *telemetry.Pipeline
-	Seed      int64
+	// Health, if set, watches every phase for numeric divergence (NaN/Inf
+	// parameters, exploding gradients, loss spikes). When the watchdog
+	// trips, the running phase aborts with an error unwrapping to
+	// health.ErrUnhealthy; like Telemetry, a nil monitor costs nothing
+	// and the numerics are bitwise identical either way.
+	Health *health.Monitor
+	// PoisonPhase is a fault-injection hook for exercising the health
+	// watchdog end to end: naming a phase ("unlearn") plants a NaN in the
+	// model's first parameter immediately before that phase runs. Never
+	// set in production; see scripts/health_smoke.sh.
+	PoisonPhase string
+	Seed        int64
 }
 
 // DefaultConfig returns a configuration for the given architecture that
@@ -234,6 +246,7 @@ func (s *System) Train() (fl.PhaseResult, error) {
 	}
 	s.Matcher = distill.NewMatcher(s.Cfg.Distill, s.Clients, s.rng)
 	s.Matcher.Telemetry = s.Cfg.Telemetry
+	s.Matcher.Health = s.Cfg.Health
 	if s.Cfg.DistillDistance != nil {
 		s.Matcher.Distance = s.Cfg.DistillDistance
 	}
@@ -247,6 +260,7 @@ func (s *System) Train() (fl.PhaseResult, error) {
 		Hook:          s.Matcher.Hook(),
 		Counter:       &s.Counter,
 		Telemetry:     s.Cfg.Telemetry,
+		Health:        s.Cfg.Health,
 		Phase:         "train",
 	}, s.rng)
 	if err != nil {
@@ -539,6 +553,7 @@ func (s *System) Recover(rounds int) (eval.Cost, error) {
 		Participation: s.Cfg.Recover.Participation,
 		Counter:       &s.Counter,
 		Telemetry:     s.Cfg.Telemetry,
+		Health:        s.Cfg.Health,
 		Phase:         "recover",
 	}, s.rng)
 	if err != nil {
@@ -579,6 +594,7 @@ func (s *System) Relearn(req Request) (Report, error) {
 		LR:         s.Cfg.Relearn.LR,
 		Counter:    &s.Counter,
 		Telemetry:  s.Cfg.Telemetry,
+		Health:     s.Cfg.Health,
 		Phase:      "relearn",
 	}, s.rng)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 	"quickdrop/internal/tensor"
 )
 
@@ -154,6 +155,10 @@ type Matcher struct {
 	// Telemetry, if set, records a distill-step span and the matching-step
 	// metrics for every MatchStep. Nil is free.
 	Telemetry *telemetry.Pipeline
+	// Health, if set, watches the matching numerics: every per-class
+	// update feeds the distance into the NaN tripwire, and the pixel
+	// gradient's norm is sampled on the monitor's cadence. Nil is free.
+	Health *health.Monitor
 }
 
 // NewMatcher initializes synthetic sets for every client in the registry.
@@ -293,6 +298,13 @@ func (m *Matcher) matchClass(ctx fl.StepContext, syn *data.Dataset, realIdx, syn
 
 		dist := m.Distance(gS, gD, m.Cfg.Eps)
 		gradS := ad.MustGrad(dist, []*ad.Value{sVar})[0]
+		if m.Health != nil {
+			gl2, gn, gi := 0.0, 0, 0
+			if m.Health.Sample() {
+				gl2, gn, gi = tensor.NormStats(gradS.Data)
+			}
+			m.Health.RecordDistill(float64(m.Counter.GradEvals), dist.Data.Data()[0], gl2, gn+gi)
+		}
 
 		// SGD step on the synthetic pixels, written back per sample.
 		if updated == nil {

@@ -89,6 +89,7 @@ func RunPhaseConcurrentRegistry(ctx context.Context, model *nn.Model, factory Mo
 
 	res := PhaseResult{Rounds: cfg.Rounds}
 	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
+	cfg.Health.BeginPhase(cfg.phaseName())
 
 	// Mirror the sequential runners' RNG layout exactly so trajectories
 	// coincide: legacy mode pre-seeds one stream per registered client,
@@ -208,6 +209,10 @@ func RunPhaseConcurrentRegistry(ctx context.Context, model *nn.Model, factory Mo
 		}
 		model.SetParams(agg.Finish())
 		cfg.Telemetry.EndRound(rs, len(selected))
+		if err := healthRound(cfg, round, model); err != nil {
+			res.WallTime = pt.Stop()
+			return res, err
+		}
 	}
 	res.WallTime = pt.Stop()
 	return res, nil

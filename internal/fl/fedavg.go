@@ -8,6 +8,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"quickdrop/internal/nn"
 	"quickdrop/internal/optim"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 	"quickdrop/internal/tensor"
 )
 
@@ -86,6 +88,14 @@ type PhaseConfig struct {
 	// phase. A nil pipeline is free: every record call is a nil-receiver
 	// no-op and the hot path reads no clock.
 	Telemetry *telemetry.Pipeline
+	// Health, if set, watches the phase's numerics: per-step losses feed
+	// the NaN tripwire and spike detector, the optimizer samples
+	// per-layer gradient norms, and each aggregated round is gated on
+	// the divergence watchdog — a tripped watchdog aborts the phase with
+	// an error unwrapping to health.ErrUnhealthy. Observation is
+	// read-only: trajectories are bitwise identical with or without a
+	// monitor. A nil monitor is free (nil-receiver no-ops).
+	Health *health.Monitor
 	// Phase names this phase in telemetry ("train", "unlearn", …).
 	// Empty means "fedavg".
 	Phase string
@@ -178,6 +188,7 @@ func RunPhaseRegistry(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng 
 	// wall time whether or not a telemetry pipeline is attached, and the
 	// reading flows only into PhaseResult/eval.Cost — never the numerics.
 	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
+	cfg.Health.BeginPhase(cfg.phaseName())
 	// Per-client RNG streams keep client behaviour independent of the
 	// participation schedule. Legacy mode seeds one stream per
 	// registered client — O(N), acceptable for the slice-scale cohorts
@@ -239,6 +250,10 @@ func RunPhaseRegistry(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng 
 		}
 		model.SetParams(agg.Finish())
 		cfg.Telemetry.EndRound(rs, len(selected))
+		if err := healthRound(cfg, round, model); err != nil {
+			res.WallTime = pt.Stop()
+			return res, err
+		}
 	}
 	res.WallTime = pt.Stop()
 	return res, nil
@@ -254,6 +269,7 @@ func RunPhaseRegistry(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng 
 func runSampledPhase(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng *rand.Rand) (PhaseResult, error) {
 	res := PhaseResult{Rounds: cfg.Rounds}
 	pt := cfg.Telemetry.StartPhase(cfg.phaseName())
+	cfg.Health.BeginPhase(cfg.phaseName())
 	phaseSeed := rng.Int63()
 
 	global := model.CloneParams()
@@ -308,6 +324,10 @@ func runSampledPhase(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng *
 		}
 		model.SetParams(agg.Finish())
 		cfg.Telemetry.EndRound(rs, len(selected))
+		if err := healthRound(cfg, round, model); err != nil {
+			res.WallTime = pt.Stop()
+			return res, err
+		}
 	}
 	res.WallTime = pt.Stop()
 	return res, nil
@@ -318,7 +338,7 @@ func runSampledPhase(model *nn.Model, reg ClientRegistry, cfg PhaseConfig, rng *
 //
 //lint:hotpath
 func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round, clientID int, rng *rand.Rand) {
-	opt := &optim.SGD{LR: cfg.LR, Dir: cfg.Dir}
+	opt := &optim.SGD{LR: cfg.LR, Dir: cfg.Dir, Health: cfg.Health}
 	gt := make([]*tensor.Tensor, len(model.Params()))
 	for step := 0; step < cfg.LocalSteps; step++ {
 		idx := sampleIndices(rng, client.Len(), cfg.BatchSize)
@@ -335,6 +355,7 @@ func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round
 		}
 		cfg.Telemetry.LocalStep(clientID, len(idx))
 		cfg.Telemetry.RecordLoss(float64(round*cfg.LocalSteps+step), loss.Data.Data()[0])
+		cfg.Health.RecordLoss(float64(round*cfg.LocalSteps+step), loss.Data.Data()[0])
 		if cfg.Hook != nil {
 			cfg.Hook(StepContext{
 				Round: round, Step: step, ClientID: clientID,
@@ -342,6 +363,24 @@ func runLocalSteps(model *nn.Model, client *data.Dataset, cfg PhaseConfig, round
 			})
 		}
 	}
+}
+
+// healthRound feeds the aggregated global model's parameter L2 norm
+// into the health monitor after one round and gates the phase on the
+// divergence watchdog. Warm path: one blocked pass over the parameters
+// per round, and only when a monitor is attached.
+func healthRound(cfg PhaseConfig, round int, model *nn.Model) error {
+	if cfg.Health == nil {
+		return nil
+	}
+	sumsq, bad := 0.0, 0
+	for _, p := range model.ParamTensors() {
+		l2, nans, infs := tensor.NormStats(p)
+		sumsq += l2 * l2
+		bad += nans + infs
+	}
+	cfg.Health.RecordRound(float64(round), math.Sqrt(sumsq), bad)
+	return cfg.Health.Check()
 }
 
 // selectClients samples a participation fraction of the eligible clients,

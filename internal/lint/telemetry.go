@@ -42,6 +42,18 @@ var recordSafeTelemetry = map[string]bool{
 	"RecordSplitAccuracy": true,
 }
 
+// recordSafeHealth are the internal/telemetry/health methods proven
+// allocation-free by the package's AllocsPerRun tests: the sampling
+// gate and the latch-only Record* observations. Everything else on the
+// monitor — Check (emits the JSONL trip event under a lock), Reset,
+// Summary, New, BindLayers — belongs at phase boundaries, not in a
+// training step.
+var recordSafeHealth = map[string]bool{
+	"Sample": true, "RecordLoss": true, "RecordLayer": true,
+	"RecordDistill": true, "RecordRound": true,
+	"BeginPhase": true, "Tripped": true,
+}
+
 func runTelemetryRule(pass *Pass) {
 	info := pass.Pkg.Info
 	for fn, fd := range hotReachable(pass) {
@@ -52,15 +64,25 @@ func runTelemetryRule(pass *Pass) {
 				return true
 			}
 			callee := calleeFunc(info, call)
-			if callee == nil || !hasPathSuffix(funcPkgPath(callee), "internal/telemetry") {
+			if callee == nil {
 				return true
 			}
-			if recordSafeTelemetry[callee.Name()] {
-				return true
+			switch pkgPath := funcPkgPath(callee); {
+			case hasPathSuffix(pkgPath, "internal/telemetry/health"):
+				if recordSafeHealth[callee.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"health call %s on the hot path of %s: only the sampling gate and latch-only Record* observations belong on //lint:hotpath paths (Check/Reset/Summary run at phase boundaries)",
+					callee.Name(), name)
+			case hasPathSuffix(pkgPath, "internal/telemetry"):
+				if recordSafeTelemetry[callee.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"telemetry call %s on the hot path of %s: only allocation-free record calls (Inc/Add/Observe, span Start/End, stopwatch reads) belong on //lint:hotpath paths",
+					callee.Name(), name)
 			}
-			pass.Reportf(call.Pos(),
-				"telemetry call %s on the hot path of %s: only allocation-free record calls (Inc/Add/Observe, span Start/End, stopwatch reads) belong on //lint:hotpath paths",
-				callee.Name(), name)
 			return true
 		})
 	}

@@ -95,6 +95,16 @@ func (m *Model) NumParams() int {
 	return n
 }
 
+// ParamNames returns the parameter names in layer order — the labels
+// the numerics health monitor binds its per-layer series to.
+func (m *Model) ParamNames() []string {
+	out := make([]string, len(m.params))
+	for i, p := range m.params {
+		out[i] = p.Name
+	}
+	return out
+}
+
 // ParamTensors returns the live parameter tensors (shared storage).
 func (m *Model) ParamTensors() []*tensor.Tensor {
 	out := make([]*tensor.Tensor, len(m.params))

@@ -7,6 +7,7 @@ package optim
 import (
 	"fmt"
 
+	"quickdrop/internal/telemetry/health"
 	"quickdrop/internal/tensor"
 )
 
@@ -42,6 +43,10 @@ type SGD struct {
 	Dir Direction
 	// Steps counts parameter updates performed.
 	Steps int
+	// Health, when set, receives sampled per-layer gradient norms and
+	// update/param ratios from Step. Read-only observation: the update
+	// itself is bitwise identical with or without a monitor.
+	Health *health.Monitor
 }
 
 // NewSGD returns a descending SGD optimizer.
@@ -63,6 +68,25 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 		p.AxpyInPlace(alpha, grads[i])
 	}
 	s.Steps++
+	if s.Health.Sample() {
+		s.observe(params, grads, alpha)
+	}
+}
+
+// observe feeds one sampled per-layer health observation per parameter.
+// For plain SGD the update is exactly alpha·grad, so the update norm is
+// |alpha| times the gradient norm — no extra pass over the update.
+func (s *SGD) observe(params, grads []*tensor.Tensor, alpha float64) {
+	x := float64(s.Steps)
+	scale := alpha
+	if scale < 0 {
+		scale = -scale
+	}
+	for i, p := range params {
+		gl2, gn, gi := tensor.NormStats(grads[i])
+		pl2, pn, pi := tensor.NormStats(p)
+		s.Health.RecordLayer(i, x, gl2, gn+gi, scale*gl2, pl2, pn+pi)
+	}
 }
 
 // Counter tracks the cost drivers reported in the paper's efficiency

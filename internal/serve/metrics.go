@@ -12,6 +12,7 @@ type serveMetrics struct {
 	publishSeconds *telemetry.Histogram // quickdropd_publish_seconds
 	published      *telemetry.Counter   // quickdropd_requests_published_total
 	failed         *telemetry.Counter   // quickdropd_requests_failed_total
+	watchdogTrips  *telemetry.Counter   // quickdropd_watchdog_trips_total
 	modelVersion   *telemetry.Gauge     // quickdropd_model_version
 
 	// Flight-recorder series for the dashboard.
@@ -42,6 +43,8 @@ func newServeMetrics(p *telemetry.Pipeline) *serveMetrics {
 			"Forget requests completed and published."),
 		failed: reg.Counter("quickdropd_requests_failed_total",
 			"Forget requests rejected or failed."),
+		watchdogTrips: reg.Counter("quickdropd_watchdog_trips_total",
+			"Batches refused publication by the numerics health watchdog."),
 		modelVersion: reg.Gauge("quickdropd_model_version", "Latest published model version."),
 		series:       series,
 	}

@@ -63,15 +63,19 @@ type Ticket struct {
 	ID  uint64
 	Req core.Request
 
-	mu       sync.Mutex
-	state    State
-	batch    uint64
-	version  uint64
-	fsetB    float64
-	fsetA    float64
-	rsetB    float64
-	rsetA    float64
-	err      error
+	mu      sync.Mutex
+	state   State
+	batch   uint64
+	version uint64
+	fsetB   float64
+	fsetA   float64
+	rsetB   float64
+	rsetA   float64
+	err     error
+	// watchdog, when non-empty, records the numerics-watchdog verdict
+	// ("nan_loss in phase unlearn") that aborted the ticket's batch —
+	// distinguishing a refused publish from an ordinary phase failure.
+	watchdog string
 	enqueued int64
 	done     int64
 	doneCh   chan struct{}
@@ -132,6 +136,17 @@ func (t *Ticket) finish(s State, version uint64, fset, rset float64, err error) 
 // fail terminates the ticket with an error.
 func (t *Ticket) fail(err error) { t.finish(StateFailed, 0, 0, 0, err) }
 
+// failWatchdog terminates the ticket with an error and pins the health
+// watchdog verdict that refused the publish.
+func (t *Ticket) failWatchdog(err error, verdict string) {
+	t.mu.Lock()
+	if !t.state.Terminal() {
+		t.watchdog = verdict
+	}
+	t.mu.Unlock()
+	t.fail(err)
+}
+
 // View is the JSON projection of a ticket.
 type View struct {
 	ID      uint64      `json:"id"`
@@ -146,8 +161,11 @@ type View struct {
 	RsetBefore float64 `json:"rset_before"`
 	RsetAfter  float64 `json:"rset_after"`
 	Error      string  `json:"error,omitempty"`
-	Enqueued   int64   `json:"enqueued_unix_nanos"`
-	Completed  int64   `json:"completed_unix_nanos,omitempty"`
+	// Watchdog carries the numerics-watchdog verdict when the batch was
+	// aborted by the health monitor rather than an ordinary failure.
+	Watchdog  string `json:"watchdog,omitempty"`
+	Enqueued  int64  `json:"enqueued_unix_nanos"`
+	Completed int64  `json:"completed_unix_nanos,omitempty"`
 }
 
 // View snapshots the ticket for JSON encoding.
@@ -164,6 +182,7 @@ func (t *Ticket) View() View {
 		FsetAfter:  t.fsetA,
 		RsetBefore: t.rsetB,
 		RsetAfter:  t.rsetA,
+		Watchdog:   t.watchdog,
 		Enqueued:   t.enqueued,
 		Completed:  t.done,
 	}
@@ -189,6 +208,7 @@ func (t *Ticket) audit() telemetry.AuditEntry {
 		FsetAfter:  t.fsetA,
 		RsetBefore: t.rsetB,
 		RsetAfter:  t.rsetA,
+		Watchdog:   t.watchdog,
 	}
 	if t.err != nil {
 		e.Err = t.err.Error()

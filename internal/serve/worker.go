@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"time"
 
 	"quickdrop/internal/core"
 	"quickdrop/internal/telemetry"
+	"quickdrop/internal/telemetry/health"
 )
 
 // run is the single worker loop: wait for a request, linger briefly so
@@ -78,10 +80,26 @@ func (s *Server) runBatch(tickets []*Ticket) {
 		if len(br.Requests) > 0 {
 			s.restoreModel()
 		}
+		// A watchdog-refused batch is a health event, not an ordinary
+		// failure: pin the verdict on every ticket that reached a phase,
+		// then re-arm the monitor so the NEXT batch gets a fresh verdict
+		// against the rewound (known-good) parameters.
+		verdict := ""
+		var uh *health.UnhealthyError
+		if errors.As(err, &uh) {
+			verdict = uh.Verdict.String()
+			s.metrics.watchdogTrips.Inc()
+			s.sys.Cfg.Health.Reset()
+		}
 		for i, t := range tickets {
 			rErr := rejected[i]
 			if rErr == nil {
 				rErr = err
+				if verdict != "" {
+					t.failWatchdog(rErr, verdict)
+					s.audit(t)
+					continue
+				}
 			}
 			t.fail(rErr)
 			s.audit(t)

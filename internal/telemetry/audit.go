@@ -35,6 +35,12 @@ type AuditEntry struct {
 	RsetAfter  float64 `json:"rset_after"`
 	// Err records why a failed request failed.
 	Err string `json:"error,omitempty"`
+	// Watchdog carries the numerics watchdog verdict when the request
+	// failed because the health monitor tripped mid-pass (e.g.
+	// "nan_grad in phase unlearn"): the audit trail distinguishes "we
+	// refused to publish a numerically-destroyed model" from an
+	// ordinary phase failure.
+	Watchdog string `json:"watchdog,omitempty"`
 }
 
 // AuditLog is an append-only, concurrency-safe record of served

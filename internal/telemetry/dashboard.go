@@ -88,6 +88,13 @@ type dashData struct {
 	RoundRows []RoundReport
 	Clients   []ClientReport
 	Straggler int32
+	// Numerics health panel: series prefixed "health_" are partitioned
+	// out of the general cards, and the quickdrop_health gauge drives
+	// the status stat ("" when no monitor is attached).
+	HealthStatus string
+	HealthTrips  float64
+	NaNEvents    float64
+	HealthSparks []sparkline
 }
 
 // sparkPath scales pts into a w×h viewBox polyline with a small inset
@@ -173,7 +180,26 @@ func writeDashboard(w http.ResponseWriter, p *Pipeline) {
 				minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
 			}
 			sp.MinY, sp.MaxY = fmtVal(minY), fmtVal(maxY)
-			d.Sparks = append(d.Sparks, sp)
+			if strings.HasPrefix(name, "health_") {
+				d.HealthSparks = append(d.HealthSparks, sp)
+			} else {
+				d.Sparks = append(d.Sparks, sp)
+			}
+		}
+		if sums := p.Registry.Summaries(); sums != nil {
+			if hs, ok := sums["quickdrop_health"]; ok {
+				if hs.Sum >= 1 {
+					d.HealthStatus = "healthy"
+				} else {
+					d.HealthStatus = "TRIPPED"
+				}
+			}
+			if ts, ok := sums["quickdrop_health_watchdog_trips_total"]; ok {
+				d.HealthTrips = ts.Sum
+			}
+			if ns, ok := sums["quickdrop_health_nan_events_total"]; ok {
+				d.NaNEvents = ns.Sum
+			}
 		}
 	}
 	if len(d.Sparks) == 0 {
@@ -192,6 +218,7 @@ func writeDashboard(w http.ResponseWriter, p *Pipeline) {
 var dashTmpl = template.Must(template.New("dashboard").Funcs(template.FuncMap{
 	"secs": func(d interface{ Seconds() float64 }) string { return fmtVal(d.Seconds()) },
 	"f2":   func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) },
+	"f0":   func(v float64) string { return strconv.FormatFloat(v, 'f', 0, 64) },
 }).Parse(`<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -264,6 +291,8 @@ td { text-align: right; padding: 5px 12px; font-variant-numeric: tabular-nums; c
 tr:last-child td { border-bottom: none; }
 tr.worst td { color: var(--text-primary); font-weight: 600; }
 .empty { color: var(--text-muted); }
+.v.bad { color: #d64545; font-weight: 600; }
+.section { color: var(--text-secondary); margin: 0 0 8px; font-size: 13px; }
 </style>
 </head>
 <body class="viz-root">
@@ -277,7 +306,28 @@ tr.worst td { color: var(--text-primary); font-weight: 600; }
   <div class="stat"><div class="k">round p95</div><div class="v">{{secs .Latency.P95}}s</div></div>
   <div class="stat"><div class="k">round p99</div><div class="v">{{secs .Latency.P99}}s</div></div>
   {{end}}
+  {{if .HealthStatus}}
+  <div class="stat"><div class="k">numerics health</div><div class="v{{if eq .HealthStatus "TRIPPED"}} bad{{end}}">{{.HealthStatus}}</div></div>
+  <div class="stat"><div class="k">watchdog trips</div><div class="v">{{f0 .HealthTrips}}</div></div>
+  <div class="stat"><div class="k">NaN events</div><div class="v">{{f0 .NaNEvents}}</div></div>
+  {{end}}
 </div>
+{{if .HealthSparks}}
+<p class="section">Numerics health &#8212; per-layer gradient norms, update/param ratios, loss EWMA, watchdog status</p>
+<div class="cards">
+{{range .HealthSparks}}
+  <div class="card">
+    <div class="name">{{.Name}}</div>
+    <div class="last">{{.Last}}</div>
+    <svg width="280" height="64" viewBox="0 0 280 64" role="img" aria-label="{{.Name}} sparkline">
+      <line x1="3" y1="61" x2="277" y2="61" stroke="var(--baseline)" stroke-width="1"/>
+      <polyline points="{{.Path}}" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>
+    </svg>
+    <div class="meta">{{.Count}} samples &#183; range {{.MinY}}&#8202;&#8211;&#8202;{{.MaxY}}</div>
+  </div>
+{{end}}
+</div>
+{{end}}
 {{if .Sparks}}
 <div class="cards">
 {{range .Sparks}}

@@ -45,6 +45,37 @@ type Manifest struct {
 	// forget request, with before/after forget-set accuracy). Empty for
 	// batch tools; quickdropd's shutdown manifest carries the full run.
 	Audit []AuditEntry `json:"audit,omitempty"`
+	// Health is the numerics health summary of the run (nil when the
+	// monitor was not enabled). A tripped watchdog here makes the run
+	// unconditionally fail a ledger diff.
+	Health *HealthSummary `json:"health,omitempty"`
+}
+
+// HealthSummary is the manifest's reduction of the numerics health
+// monitor (internal/telemetry/health): whether the divergence watchdog
+// ever tripped, its verdict, and the extreme values observed. It lives
+// in this package (not health) so Manifest can embed it without an
+// import cycle.
+type HealthSummary struct {
+	// Healthy reports the monitor's CURRENT state (a trip cleared by
+	// Reset leaves it true again).
+	Healthy bool `json:"healthy"`
+	// Tripped is sticky: true if the watchdog ever tripped during the
+	// run, even if later Reset — a tripped run never passes a diff.
+	Tripped bool `json:"tripped"`
+	// Verdict is the first trip's reason ("nan_grad", "loss_spike",
+	// "grad_norm", …), empty while healthy.
+	Verdict string `json:"verdict,omitempty"`
+	// Phase names the training/unlearning phase the trip happened in.
+	Phase string `json:"phase,omitempty"`
+	// NaNEvents counts non-finite observations (elements may be many
+	// per event); Trips counts watchdog trips.
+	NaNEvents int64 `json:"nan_events"`
+	Trips     int64 `json:"trips"`
+	// MaxGradNorm / MaxUpdateRatio are the largest sampled per-layer
+	// gradient L2 norm and update/param-norm ratio of the run.
+	MaxGradNorm    float64 `json:"max_grad_norm"`
+	MaxUpdateRatio float64 `json:"max_update_ratio"`
 }
 
 // NewStamp formats the telemetry clock as a filesystem-safe UTC stamp
@@ -170,6 +201,10 @@ type DiffOptions struct {
 	// TimeGrowPct is the tolerated percentage growth in any *_seconds
 	// histogram sum (default 25).
 	TimeGrowPct float64
+	// GradNormGrowPct is the tolerated percentage growth of the run's
+	// max sampled gradient norm (default 100; compared only when both
+	// manifests carry a health block with a nonzero old value).
+	GradNormGrowPct float64
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -178,6 +213,9 @@ func (o DiffOptions) withDefaults() DiffOptions {
 	}
 	if o.TimeGrowPct == 0 {
 		o.TimeGrowPct = 25
+	}
+	if o.GradNormGrowPct == 0 {
+		o.GradNormGrowPct = 100
 	}
 	return o
 }
@@ -259,6 +297,68 @@ func Diff(oldM, newM *Manifest, opts DiffOptions) (entries []DiffEntry, regresse
 		if growPct > opts.TimeGrowPct {
 			e.Regression = true
 			e.Reason = fmt.Sprintf("wall time grew %.1f%% > %.1f%% threshold", growPct, opts.TimeGrowPct)
+		}
+		entries = append(entries, e)
+		regressed = regressed || e.Regression
+	}
+
+	entries, regressed = diffHealth(entries, regressed, oldM, newM, opts)
+	return entries, regressed
+}
+
+// diffHealth appends the numerics-health comparisons. A new run that
+// tripped the watchdog is an unconditional regression — a run whose
+// model diverged never passes, whatever its accuracy numbers say.
+// NaN-event growth and max-grad-norm growth beyond GradNormGrowPct are
+// thresholded regressions like the others.
+func diffHealth(entries []DiffEntry, regressed bool, oldM, newM *Manifest, opts DiffOptions) ([]DiffEntry, bool) {
+	if newM.Health == nil {
+		return entries, regressed
+	}
+	nh := newM.Health
+
+	e := DiffEntry{Metric: "health:watchdog", New: float64(nh.Trips)}
+	if oldM.Health != nil {
+		e.Old = float64(oldM.Health.Trips)
+	}
+	e.Delta = e.New - e.Old
+	if nh.Tripped {
+		e.Regression = true
+		e.Reason = "watchdog tripped: " + nh.Verdict
+		if nh.Phase != "" {
+			e.Reason += " in phase " + nh.Phase
+		}
+	}
+	entries = append(entries, e)
+	regressed = regressed || e.Regression
+
+	if oldM.Health == nil {
+		return entries, regressed
+	}
+	oh := oldM.Health
+
+	e = DiffEntry{
+		Metric: "health:nan_events",
+		Old:    float64(oh.NaNEvents), New: float64(nh.NaNEvents),
+		Delta: float64(nh.NaNEvents - oh.NaNEvents),
+	}
+	if nh.NaNEvents > oh.NaNEvents {
+		e.Regression = true
+		e.Reason = fmt.Sprintf("non-finite events rose %d → %d", oh.NaNEvents, nh.NaNEvents)
+	}
+	entries = append(entries, e)
+	regressed = regressed || e.Regression
+
+	if oh.MaxGradNorm > 0 {
+		e = DiffEntry{
+			Metric: "health:max_grad_norm",
+			Old:    oh.MaxGradNorm, New: nh.MaxGradNorm,
+			Delta: nh.MaxGradNorm - oh.MaxGradNorm,
+		}
+		growPct := (nh.MaxGradNorm - oh.MaxGradNorm) / oh.MaxGradNorm * 100
+		if growPct > opts.GradNormGrowPct {
+			e.Regression = true
+			e.Reason = fmt.Sprintf("max grad norm grew %.1f%% > %.1f%% threshold", growPct, opts.GradNormGrowPct)
 		}
 		entries = append(entries, e)
 		regressed = regressed || e.Regression

@@ -102,22 +102,24 @@ func (q *psquare) linear(i int, s float64) float64 {
 	return q.h[i] + s*(q.h[j]-q.h[i])/(q.pos[j]-q.pos[i])
 }
 
-// value returns the current estimate. With fewer than five samples it
-// interpolates over the sorted warm-up buffer; with none it is NaN.
+// value returns the current estimate. Below the five-sample P²
+// threshold the markers are not initialized, so the estimate is the
+// EXACT nearest-rank order statistic of the sorted warm-up buffer
+// (ceil(p·n) in 1-based rank terms) — never an extrapolation; with no
+// samples it is NaN.
 func (q *psquare) value() float64 {
 	if q.n == 0 {
 		return math.NaN()
 	}
 	if q.n < 5 {
-		// Sorted prefix of the warm-up buffer: index by rank.
-		rank := q.p * float64(q.n-1)
-		lo := int(rank)
-		hi := lo + 1
-		if hi >= int(q.n) {
-			return q.init[q.n-1]
+		idx := int(math.Ceil(q.p*float64(q.n))) - 1
+		if idx < 0 {
+			idx = 0
 		}
-		frac := rank - float64(lo)
-		return q.init[lo]*(1-frac) + q.init[hi]*frac
+		if idx >= int(q.n) {
+			idx = int(q.n) - 1
+		}
+		return q.init[idx]
 	}
 	return q.h[2]
 }

@@ -22,6 +22,54 @@ func TestPSquareSmallStreams(t *testing.T) {
 	}
 }
 
+// TestPSquareSubThresholdExact pins the below-P²-threshold contract:
+// with fewer than five samples the estimate is the exact nearest-rank
+// order statistic of what was observed — never an interpolation or
+// extrapolation from uninitialized markers.
+func TestPSquareSubThresholdExact(t *testing.T) {
+	// 0 samples: NaN for every p.
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		q := newPSquare(p)
+		if !math.IsNaN(q.value()) {
+			t.Errorf("p%.0f with 0 samples = %v, want NaN", 100*p, q.value())
+		}
+	}
+	// 1 sample: the sample itself, at every quantile.
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		q := newPSquare(p)
+		q.add(42)
+		if got := q.value(); got != 42 {
+			t.Errorf("p%.0f with 1 sample = %v, want 42", 100*p, got)
+		}
+	}
+	// 4 samples {1,2,3,4}: nearest rank ceil(p·4).
+	cases := []struct{ p, want float64 }{
+		{0.25, 1}, {0.5, 2}, {0.75, 3}, {0.95, 4}, {0.99, 4},
+	}
+	for _, tc := range cases {
+		q := newPSquare(tc.p)
+		for _, v := range []float64{3, 1, 4, 2} { // unsorted insertion
+			q.add(v)
+		}
+		if got := q.value(); got != tc.want {
+			t.Errorf("p%.0f of {1,2,3,4} = %v, want %v", 100*tc.p, got, tc.want)
+		}
+	}
+	// 2 samples: p50 is the lower sample (rank ceil(1.0)=1), p95 the upper.
+	q := newPSquare(0.5)
+	q.add(10)
+	q.add(20)
+	if got := q.value(); got != 10 {
+		t.Errorf("p50 of {10,20} = %v, want 10 (nearest rank)", got)
+	}
+	q95 := newPSquare(0.95)
+	q95.add(10)
+	q95.add(20)
+	if got := q95.value(); got != 20 {
+		t.Errorf("p95 of {10,20} = %v, want 20", got)
+	}
+}
+
 func TestPSquareConvergesOnUniform(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, tc := range []struct{ p, want float64 }{

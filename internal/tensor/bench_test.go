@@ -9,6 +9,7 @@ import (
 	"quickdrop/internal/distill"
 	"quickdrop/internal/fl"
 	"quickdrop/internal/nn"
+	"quickdrop/internal/telemetry/health"
 	"quickdrop/internal/tensor"
 )
 
@@ -107,6 +108,15 @@ func BenchmarkConv2DForwardBackward(b *testing.B) {
 // update: real gradient, synthetic gradient with create-graph, grouped
 // cosine distance, and the second-order gradient w.r.t. the pixels.
 func BenchmarkGradientMatchingStep(b *testing.B) {
+	m, ctx := benchMatcher()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchStep(ctx)
+	}
+}
+
+func benchMatcher() (*distill.Matcher, fl.StepContext) {
 	rng := rand.New(rand.NewSource(1))
 	spec := data.Spec{Name: "bench", H: 8, W: 8, C: 3, Classes: 4,
 		TrainPerClass: 8, TestPerClass: 0, Noise: 0.3, Jitter: 1}
@@ -122,9 +132,48 @@ func BenchmarkGradientMatchingStep(b *testing.B) {
 		Round: 0, Step: 0, ClientID: 0,
 		Model: model, Client: ds, Rng: rng,
 	}
+	return m, ctx
+}
+
+// BenchmarkGradientMatchingStepHealth is the same workload with the
+// numerics health monitor attached at its default sampling cadence —
+// the overhead gate: bench_compare.sh fails if this exceeds the plain
+// step by more than 1%.
+func BenchmarkGradientMatchingStepHealth(b *testing.B) {
+	m, ctx := benchMatcher()
+	mon := health.New(health.Config{}, nil)
+	m.Health = mon
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.MatchStep(ctx)
 	}
 }
+
+// BenchmarkNormStats pins the cost of the single-pass norm + poison
+// count kernel on a model-layer-sized tensor.
+func BenchmarkNormStats(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := tensor.Randn(rng, 1, 64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink, _, _ = tensor.NormStats(t)
+	}
+}
+
+// BenchmarkStatsInto measures the full moment kernel on the same shape.
+func BenchmarkStatsInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	t := tensor.Randn(rng, 1, 64, 1024)
+	var s tensor.Stats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.StatsInto(&s, t)
+	}
+	sink = s.Mean
+}
+
+// sink defeats dead-code elimination of the benchmarked kernels.
+var sink float64

@@ -2,9 +2,11 @@
 # bench_compare.sh — regression gate over the benchmark artifacts: diffs
 # the newest BENCH_<stamp>.json on disk against the committed baseline
 # (the newest BENCH_*.json tracked by git) and fails when any gated
-# benchmark regresses by more than its threshold. All four committed
+# benchmark regresses by more than its threshold. The committed headline
 # benchmarks are gated; per-benchmark thresholds reflect how noisy each
-# one runs on shared CI hardware.
+# one runs on shared CI hardware. A second, same-artifact gate bounds
+# the numerics health monitor's overhead on the gradient-matching step
+# (HEALTH_OVERHEAD_PCT, default 1%).
 # Run via `make bench-check`, which produces the fresh artifact first.
 #
 #   METRICS="GradientMatchingStep FedAvgRound" sh scripts/bench_compare.sh
@@ -17,13 +19,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-METRICS=${METRICS:-"GradientMatchingStep FedAvgRound SampledRound UnlearnRecover"}
+METRICS=${METRICS:-"GradientMatchingStep FedAvgRound SampledRound UnlearnRecover NormStats"}
 # Default per-benchmark thresholds (percent growth tolerated). The
 # distillation microbenchmark is the tightest signal; the two
 # whole-phase benchmarks cover more wall time and jitter more.
 default_threshold() {
 	case "$1" in
 	GradientMatchingStep) echo 25 ;;
+	# Single-pass streaming-stats kernel: pure compute, low jitter.
+	NormStats) echo 30 ;;
 	FedAvgRound) echo 30 ;;
 	# The sampled round spans K=64 lazily materialized shards plus the
 	# rejection sampler; shard rendering dominates and jitters the most.
@@ -81,6 +85,30 @@ for metric in $METRICS; do
 		status=1
 	fi
 done
+
+# Health-monitor overhead gate: GradientMatchingStepHealth (sampling
+# enabled at the default cadence) vs the plain GradientMatchingStep,
+# compared WITHIN the candidate artifact — same run, same machine, same
+# benchtime — so machine drift cancels out and the tight default bound
+# is honest. HEALTH_OVERHEAD_PCT=5 relaxes it on very noisy runners;
+# HEALTH_OVERHEAD_PCT="" skips the gate.
+HEALTH_OVERHEAD_PCT=${HEALTH_OVERHEAD_PCT-1}
+if [ -n "$HEALTH_OVERHEAD_PCT" ]; then
+	plain_ns=$(extract "$candidate" "GradientMatchingStep")
+	health_ns=$(extract "$candidate" "GradientMatchingStepHealth")
+	if [ -z "$plain_ns" ] || [ -z "$health_ns" ]; then
+		echo "bench_compare.sh: GradientMatchingStep/GradientMatchingStepHealth missing from $candidate; run 'make bench' first" >&2
+		status=1
+	else
+		limit=$((plain_ns * (100 + HEALTH_OVERHEAD_PCT) / 100))
+		delta=$(awk "BEGIN { printf \"%+.2f\", ($health_ns - $plain_ns) * 100.0 / $plain_ns }")
+		echo "bench_compare.sh: health overhead ${plain_ns}ns plain vs ${health_ns}ns with monitor: ${delta}% (threshold +${HEALTH_OVERHEAD_PCT}%)"
+		if [ "$health_ns" -gt "$limit" ]; then
+			echo "bench_compare.sh: FAIL — health monitor adds ${delta}% to GradientMatchingStep (threshold +${HEALTH_OVERHEAD_PCT}%)" >&2
+			status=1
+		fi
+	fi
+fi
 
 [ "$status" -eq 0 ] && echo "bench_compare.sh: OK — all gated benchmarks within threshold"
 exit "$status"
